@@ -1,0 +1,37 @@
+// Command xflow-broker runs the standalone messaging node — the
+// deployment's equivalent of the paper's dedicated messaging
+// infrastructure instance. Master and worker processes connect to it
+// over TCP.
+//
+// Usage:
+//
+//	xflow-broker -listen :7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"crossflow/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "TCP listen address")
+	flag.Parse()
+
+	srv, err := transport.Serve(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xflow-broker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("xflow-broker: serving on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Println("xflow-broker: stopped")
+}

@@ -1,0 +1,226 @@
+package crossflow_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crossflow"
+)
+
+func demoWorkflow() *crossflow.Workflow {
+	wf := crossflow.NewWorkflow("t")
+	wf.MustAddTask(crossflow.TaskSpec{Name: "analyze", Input: "jobs"})
+	return wf
+}
+
+func demoWorkers(n int) []*crossflow.Worker {
+	out := make([]*crossflow.Worker, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, crossflow.NewWorker(crossflow.WorkerSpec{
+			Name: fmt.Sprintf("w%d", i),
+			Net:  crossflow.Speed{BaseMBps: 50},
+			RW:   crossflow.Speed{BaseMBps: 200},
+			Seed: int64(i + 1),
+		}))
+	}
+	return out
+}
+
+func demoArrivals(n int) []crossflow.Arrival {
+	out := make([]crossflow.Arrival, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, crossflow.Arrival{Job: &crossflow.Job{
+			Stream: "jobs", DataKey: fmt.Sprintf("r%d", i), DataSizeMB: 100,
+		}})
+	}
+	return out
+}
+
+func TestRunWithEverySchedulerCompletes(t *testing.T) {
+	for _, s := range crossflow.Schedulers() {
+		rep, err := crossflow.Run(crossflow.Config{
+			Workers:   demoWorkers(3),
+			Scheduler: s,
+			Workflow:  demoWorkflow(),
+			Arrivals:  demoArrivals(9),
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if rep.JobsCompleted != 9 {
+			t.Errorf("%s: JobsCompleted = %d", s.Name, rep.JobsCompleted)
+		}
+		if rep.Allocator != s.Name {
+			t.Errorf("report labelled %q for scheduler %q", rep.Allocator, s.Name)
+		}
+	}
+}
+
+func TestSchedulerByName(t *testing.T) {
+	for _, want := range []string{"bidding", "baseline", "spark-like", "matchmaking", "random"} {
+		s, ok := crossflow.SchedulerByName(want)
+		if !ok || s.Name != want {
+			t.Errorf("SchedulerByName(%q) = %v, %v", want, s.Name, ok)
+		}
+	}
+	if _, ok := crossflow.SchedulerByName("fifo"); ok {
+		t.Error("unknown scheduler resolved")
+	}
+}
+
+func TestRunRejectsZeroScheduler(t *testing.T) {
+	_, err := crossflow.Run(crossflow.Config{
+		Workers:  demoWorkers(1),
+		Workflow: demoWorkflow(),
+	})
+	if err == nil {
+		t.Fatal("Run accepted a zero Scheduler")
+	}
+}
+
+func TestNewHubClasses(t *testing.T) {
+	for _, class := range []string{"small", "medium", "large", "mixed", "huge-live"} {
+		hub := crossflow.NewHub(10, class, 1, 0)
+		if hub.Len() != 10 {
+			t.Errorf("class %q: Len = %d", class, hub.Len())
+		}
+	}
+	// Unknown classes fall back to mixed rather than failing.
+	if hub := crossflow.NewHub(5, "nope", 1, 0); hub.Len() != 5 {
+		t.Error("unknown class did not fall back")
+	}
+}
+
+func TestLearningCostsExported(t *testing.T) {
+	costs := crossflow.LearningCosts(10, 20)
+	if got := costs.TransferEstimate(false, 100); got != 10*time.Second {
+		t.Errorf("TransferEstimate = %v", got)
+	}
+	w := crossflow.NewWorkerWithCosts(crossflow.WorkerSpec{
+		Name: "learner", Net: crossflow.Speed{BaseMBps: 10}, RW: crossflow.Speed{BaseMBps: 10},
+	}, costs)
+	if w.Costs != costs {
+		t.Error("custom cost model not installed")
+	}
+}
+
+func TestClockConstructors(t *testing.T) {
+	sim := crossflow.NewSimClock()
+	real := crossflow.NewRealClock(100)
+	if sim == nil || real == nil {
+		t.Fatal("nil clock")
+	}
+	rep, err := crossflow.Run(crossflow.Config{
+		Clock:     sim,
+		Workers:   demoWorkers(2),
+		Scheduler: crossflow.Bidding(),
+		Workflow:  demoWorkflow(),
+		Arrivals:  demoArrivals(4),
+	})
+	if err != nil || rep.JobsCompleted != 4 {
+		t.Fatalf("sim-clock run: %v, %+v", err, rep)
+	}
+}
+
+func TestWarmCacheAcrossRuns(t *testing.T) {
+	workers := demoWorkers(2)
+	cfg := crossflow.Config{
+		Workers:   workers,
+		Scheduler: crossflow.Bidding(),
+		Workflow:  demoWorkflow(),
+		Arrivals:  demoArrivals(6),
+	}
+	first, err := crossflow.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrivals = demoArrivals(6)
+	second, err := crossflow.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses != 6 || second.CacheMisses != 0 {
+		t.Errorf("misses = %d then %d, want 6 then 0", first.CacheMisses, second.CacheMisses)
+	}
+}
+
+func TestExtensionSchedulersExported(t *testing.T) {
+	for _, s := range []crossflow.Scheduler{
+		crossflow.BiddingFast(), crossflow.Delay(), crossflow.Matchmaking(), crossflow.Random(),
+	} {
+		rep, err := crossflow.Run(crossflow.Config{
+			Workers:   demoWorkers(2),
+			Scheduler: s,
+			Workflow:  demoWorkflow(),
+			Arrivals:  demoArrivals(6),
+		})
+		if err != nil || rep.JobsCompleted != 6 {
+			t.Errorf("%s: %v, completed %d", s.Name, err, rep.JobsCompleted)
+		}
+	}
+}
+
+func TestCalibratedAndStaticCostsExported(t *testing.T) {
+	inner := crossflow.StaticCosts(10, 20)
+	if got := inner.TransferEstimate(false, 100); got != 10*time.Second {
+		t.Errorf("StaticCosts transfer = %v", got)
+	}
+	cal := crossflow.CalibratedCosts(inner, 0.5)
+	cal.ObserveTransfer(100, 20*time.Second)
+	if got := cal.TransferEstimate(false, 100); got != 15*time.Second {
+		t.Errorf("calibrated transfer = %v", got)
+	}
+}
+
+func TestTraceExported(t *testing.T) {
+	trace := crossflow.NewTraceLog()
+	_, err := crossflow.Run(crossflow.Config{
+		Workers:   demoWorkers(1),
+		Scheduler: crossflow.Bidding(),
+		Workflow:  demoWorkflow(),
+		Arrivals:  demoArrivals(2),
+		Trace:     trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() == 0 {
+		t.Error("trace empty after traced run")
+	}
+	var nilTrace *crossflow.TraceLog
+	if _, err := crossflow.Run(crossflow.Config{
+		Workers:   demoWorkers(1),
+		Scheduler: crossflow.Bidding(),
+		Workflow:  demoWorkflow(),
+		Arrivals:  demoArrivals(1),
+		Trace:     nilTrace, // typed nil must be handled
+	}); err != nil {
+		t.Fatalf("typed-nil trace: %v", err)
+	}
+}
+
+func TestWorkerUtilizationInReport(t *testing.T) {
+	rep, err := crossflow.Run(crossflow.Config{
+		Workers:   demoWorkers(2),
+		Scheduler: crossflow.Bidding(),
+		Workflow:  demoWorkflow(),
+		Arrivals:  demoArrivals(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anyBusy bool
+	for _, w := range rep.Workers {
+		if w.Utilization < 0 || w.Utilization > 1.01 {
+			t.Errorf("%s utilization = %v", w.Name, w.Utilization)
+		}
+		if w.BusyTime > 0 {
+			anyBusy = true
+		}
+	}
+	if !anyBusy {
+		t.Error("no worker reported busy time")
+	}
+}

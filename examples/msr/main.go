@@ -1,0 +1,146 @@
+// MSR: the paper's motivating pipeline (§2) built on the public API —
+// search a synthetic GitHub for favoured large-scale repositories, pair
+// each with a stream of popular NPM libraries, clone-and-scan every pair
+// on whichever worker the Bidding scheduler selects, and count library
+// co-occurrences.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"crossflow"
+)
+
+// pair is one (library, repository) analysis unit.
+type pair struct {
+	Library string
+	Repo    string
+}
+
+// finding is the terminal result of one analysis.
+type finding struct {
+	Library string
+	Repo    string
+	Depends bool
+}
+
+// dependsOn is the synthetic stand-in for parsing package.json: a
+// deterministic ~40% of pairs are dependencies.
+func dependsOn(library, repo string) bool {
+	h := fnv.New64a()
+	h.Write([]byte(library + "\x00" + repo))
+	return h.Sum64()%100 < 40
+}
+
+func main() {
+	libraries := []string{"lodash", "react", "axios", "express"}
+
+	// Step 2 of the protocol: the repository universe. 12 repositories,
+	// 500–1000 MB, behind a 200ms search API.
+	hub := crossflow.NewHub(12, "large", 7, 200*time.Millisecond)
+
+	wf := crossflow.NewWorkflow("msr")
+	// RepositorySearcher: consume a library name, search GitHub, and
+	// stream one analysis job per matching repository.
+	wf.MustAddTask(crossflow.TaskSpec{
+		Name:  "RepositorySearcher",
+		Input: "libraries",
+		Fn: func(ctx *crossflow.TaskContext, job *crossflow.Job) ([]*crossflow.Job, []any, error) {
+			lib := job.Payload.(string)
+			repos := ctx.SearchHub(crossflow.Filter{MinSizeMB: 500, MinStars: 5000, MinForks: 5000})
+			for _, r := range repos {
+				ctx.Clock().Sleep(500 * time.Millisecond) // API pagination per result
+				ctx.Emit(&crossflow.Job{
+					Stream:     "analysis",
+					Payload:    pair{Library: lib, Repo: r.Name},
+					DataKey:    r.Name, // the clone the schedulers compete over
+					DataSizeMB: r.SizeMB,
+				})
+			}
+			return nil, nil, nil
+		},
+	})
+	// DependencyAnalyzer: clone the repository unless cached, scan it.
+	wf.MustAddTask(crossflow.TaskSpec{
+		Name:  "DependencyAnalyzer",
+		Input: "analysis",
+		Fn: func(ctx *crossflow.TaskContext, job *crossflow.Job) ([]*crossflow.Job, []any, error) {
+			p := job.Payload.(pair)
+			hit := ctx.RequireData(job.DataKey, job.DataSizeMB)
+			ctx.Process(job.DataSizeMB)
+			_ = hit
+			return nil, []any{finding{
+				Library: p.Library, Repo: p.Repo, Depends: dependsOn(p.Library, p.Repo),
+			}}, nil
+		},
+	})
+
+	var workers []*crossflow.Worker
+	for i := 0; i < 4; i++ {
+		workers = append(workers, crossflow.NewWorker(crossflow.WorkerSpec{
+			Name:    fmt.Sprintf("worker-%d", i),
+			Net:     crossflow.Speed{BaseMBps: 20, NoiseAmp: 0.25},
+			RW:      crossflow.Speed{BaseMBps: 80, NoiseAmp: 0.25},
+			CacheMB: 6000,
+			Seed:    int64(i + 1),
+		}))
+	}
+
+	var arrivals []crossflow.Arrival
+	for i, lib := range libraries {
+		arrivals = append(arrivals, crossflow.Arrival{
+			At:  time.Duration(i) * 90 * time.Second, // libraries arrive as a stream
+			Job: &crossflow.Job{Stream: "libraries", Payload: lib},
+		})
+	}
+
+	report, err := crossflow.Run(crossflow.Config{
+		Workers:   workers,
+		Scheduler: crossflow.Bidding(),
+		Workflow:  wf,
+		Arrivals:  arrivals,
+		Hub:       hub,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("pipeline finished: %d jobs in %v (simulated), %d clones, %d cache hits, %.0f MB downloaded\n\n",
+		report.JobsCompleted, report.Makespan.Round(time.Second),
+		report.CacheMisses, report.CacheHits, report.DataLoadMB)
+
+	// Step 4 of the protocol: count how often libraries co-occur.
+	byRepo := make(map[string][]string)
+	for _, r := range report.Results {
+		if f, ok := r.(finding); ok && f.Depends {
+			byRepo[f.Repo] = append(byRepo[f.Repo], f.Library)
+		}
+	}
+	counts := make(map[string]int)
+	for _, libs := range byRepo {
+		sort.Strings(libs)
+		for i := 0; i < len(libs); i++ {
+			for j := i + 1; j < len(libs); j++ {
+				counts[libs[i]+" + "+libs[j]]++
+			}
+		}
+	}
+	pairs := make([]string, 0, len(counts))
+	for k := range counts {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if counts[pairs[i]] != counts[pairs[j]] {
+			return counts[pairs[i]] > counts[pairs[j]]
+		}
+		return pairs[i] < pairs[j]
+	})
+	fmt.Println("library co-occurrences (repositories depending on both):")
+	for _, p := range pairs {
+		fmt.Printf("  %-20s %d\n", p, counts[p])
+	}
+}

@@ -1,0 +1,3 @@
+module crossflow
+
+go 1.22

@@ -1,0 +1,277 @@
+// Package broker provides the messaging substrate the engine runs on —
+// the stand-in for the dedicated messaging instance (ActiveMQ in the
+// original Crossflow deployment) that the paper's infrastructure used.
+//
+// The model is endpoint-based: every node (master, each worker) registers
+// an Endpoint and owns a single inbox Mailbox, actor style. Endpoints
+// exchange direct messages and publish/subscribe on named topics; all
+// deliveries land in the receiving endpoint's inbox wrapped in an
+// Envelope. Delivery is asynchronous with a configurable per-link
+// latency, applied through the clock so that the simulated and live
+// engines share one code path.
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"crossflow/internal/vclock"
+)
+
+// Envelope wraps every message delivered to an endpoint's inbox.
+type Envelope struct {
+	// From is the name of the sending endpoint.
+	From string
+	// To is the receiving endpoint's name for direct messages, empty for
+	// topic deliveries.
+	To string
+	// Topic is the topic the message was published on, empty for direct
+	// messages.
+	Topic string
+	// Payload is the application message.
+	Payload any
+	// SentAt is the clock time at which the sender handed the message to
+	// the broker.
+	SentAt time.Time
+}
+
+// DelayFunc computes the one-way delivery delay for a message from one
+// endpoint to another. Implementations may add jitter; they are called
+// under the broker lock and must not block.
+type DelayFunc func(from, to *Endpoint) time.Duration
+
+// Stats holds message-level counters for one broker.
+type Stats struct {
+	// Direct is the number of direct messages delivered.
+	Direct int64
+	// Published is the number of Publish calls.
+	Published int64
+	// Fanout is the number of topic deliveries (one per subscriber).
+	Fanout int64
+	// Dropped counts messages addressed to missing or disconnected
+	// endpoints.
+	Dropped int64
+}
+
+// Broker routes messages between registered endpoints.
+type Broker struct {
+	clk   vclock.Clock
+	delay DelayFunc
+
+	mu        sync.Mutex
+	endpoints map[string]*Endpoint
+	topics    map[string]map[string]*Endpoint // topic -> subscriber name -> endpoint
+	stats     Stats
+}
+
+// New returns a broker on the given clock. The default delivery delay is
+// the sum of the two endpoints' link latencies.
+func New(clk vclock.Clock) *Broker {
+	b := &Broker{
+		clk:       clk,
+		endpoints: make(map[string]*Endpoint),
+		topics:    make(map[string]map[string]*Endpoint),
+	}
+	b.delay = func(from, to *Endpoint) time.Duration {
+		var d time.Duration
+		if from != nil {
+			d += from.link
+		}
+		if to != nil {
+			d += to.link
+		}
+		return d
+	}
+	return b
+}
+
+// SetDelayFunc replaces the delivery-delay model. Passing nil restores
+// the default link-sum model.
+func (b *Broker) SetDelayFunc(f DelayFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f == nil {
+		f = func(from, to *Endpoint) time.Duration {
+			var d time.Duration
+			if from != nil {
+				d += from.link
+			}
+			if to != nil {
+				d += to.link
+			}
+			return d
+		}
+	}
+	b.delay = f
+}
+
+// Stats returns a snapshot of the broker's message counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Register creates an endpoint with the given name and one-way link
+// latency to the broker. It panics if the name is already taken: node
+// names are configuration, and a collision is a programming error.
+func (b *Broker) Register(name string, link time.Duration) *Endpoint {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.endpoints[name]; dup {
+		panic(fmt.Sprintf("broker: endpoint %q already registered", name))
+	}
+	ep := &Endpoint{
+		broker: b,
+		name:   name,
+		link:   link,
+		inbox:  b.clk.NewMailbox("inbox:" + name),
+	}
+	b.endpoints[name] = ep
+	return ep
+}
+
+// Lookup returns the endpoint registered under name, if any.
+func (b *Broker) Lookup(name string) (*Endpoint, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.endpoints[name]
+	return ep, ok
+}
+
+// Endpoints returns the names of all registered endpoints.
+func (b *Broker) Endpoints() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.endpoints))
+	for n := range b.endpoints {
+		names = append(names, n)
+	}
+	return names
+}
+
+// send delivers a direct message.
+func (b *Broker) send(from *Endpoint, to string, payload any) bool {
+	b.mu.Lock()
+	dst, ok := b.endpoints[to]
+	if !ok || dst.down || from.down {
+		b.stats.Dropped++
+		b.mu.Unlock()
+		return false
+	}
+	env := Envelope{From: from.name, To: to, Payload: payload, SentAt: b.clk.Now()}
+	d := b.delay(from, dst)
+	b.stats.Direct++
+	b.mu.Unlock()
+	b.deliver(dst, env, d)
+	return true
+}
+
+// publish fans a message out to every subscriber of topic.
+func (b *Broker) publish(from *Endpoint, topic string, payload any) int {
+	b.mu.Lock()
+	b.stats.Published++
+	if from.down {
+		b.stats.Dropped++
+		b.mu.Unlock()
+		return 0
+	}
+	subs := b.topics[topic]
+	targets := make([]*Endpoint, 0, len(subs))
+	delays := make([]time.Duration, 0, len(subs))
+	for _, ep := range subs {
+		if ep.down {
+			continue
+		}
+		targets = append(targets, ep)
+		delays = append(delays, b.delay(from, ep))
+	}
+	env := Envelope{From: from.name, Topic: topic, Payload: payload, SentAt: b.clk.Now()}
+	b.stats.Fanout += int64(len(targets))
+	b.mu.Unlock()
+	for i, ep := range targets {
+		b.deliver(ep, env, delays[i])
+	}
+	return len(targets)
+}
+
+// deliver places env in dst's inbox after delay d of clock time.
+func (b *Broker) deliver(dst *Endpoint, env Envelope, d time.Duration) {
+	if d <= 0 {
+		dst.inbox.Send(env)
+		return
+	}
+	b.clk.AfterFunc(d, func() { dst.inbox.Send(env) })
+}
+
+// subscribe adds ep to topic.
+func (b *Broker) subscribe(ep *Endpoint, topic string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.topics[topic]
+	if subs == nil {
+		subs = make(map[string]*Endpoint)
+		b.topics[topic] = subs
+	}
+	subs[ep.name] = ep
+}
+
+// unsubscribe removes ep from topic.
+func (b *Broker) unsubscribe(ep *Endpoint, topic string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.topics[topic], ep.name)
+}
+
+// setDown marks ep connected or disconnected.
+func (b *Broker) setDown(ep *Endpoint, down bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep.down = down
+}
+
+// Endpoint is one node's attachment to the broker.
+type Endpoint struct {
+	broker *Broker
+	name   string
+	link   time.Duration
+	inbox  vclock.Mailbox
+	down   bool // guarded by broker.mu
+}
+
+// Name returns the endpoint's registered name.
+func (ep *Endpoint) Name() string { return ep.name }
+
+// Link returns the endpoint's one-way link latency to the broker.
+func (ep *Endpoint) Link() time.Duration { return ep.link }
+
+// Inbox returns the endpoint's delivery mailbox. Every message arrives
+// as an Envelope.
+func (ep *Endpoint) Inbox() vclock.Mailbox { return ep.inbox }
+
+// Send delivers payload directly to the endpoint named to. It reports
+// false if the destination is unknown or either side is disconnected.
+func (ep *Endpoint) Send(to string, payload any) bool {
+	return ep.broker.send(ep, to, payload)
+}
+
+// Publish fans payload out to all subscribers of topic and returns the
+// number of endpoints it was delivered to.
+func (ep *Endpoint) Publish(topic string, payload any) int {
+	return ep.broker.publish(ep, topic, payload)
+}
+
+// Subscribe starts delivering messages published on topic to this
+// endpoint's inbox.
+func (ep *Endpoint) Subscribe(topic string) { ep.broker.subscribe(ep, topic) }
+
+// Unsubscribe stops topic deliveries to this endpoint.
+func (ep *Endpoint) Unsubscribe(topic string) { ep.broker.unsubscribe(ep, topic) }
+
+// Disconnect simulates the endpoint dropping off the network: subsequent
+// sends to or from it are dropped until Reconnect.
+func (ep *Endpoint) Disconnect() { ep.broker.setDown(ep, true) }
+
+// Reconnect reverses Disconnect.
+func (ep *Endpoint) Reconnect() { ep.broker.setDown(ep, false) }

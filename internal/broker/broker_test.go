@@ -1,0 +1,262 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"crossflow/internal/vclock"
+)
+
+func TestDirectSendArrivesAfterLinkLatency(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	a := b.Register("a", 10*time.Millisecond)
+	c := b.Register("c", 40*time.Millisecond)
+	var at time.Time
+	var env Envelope
+	sim.Go(func() {
+		a.Send("c", "ping")
+	})
+	sim.Go(func() {
+		v, ok := c.Inbox().Recv()
+		if !ok {
+			t.Error("inbox closed")
+			return
+		}
+		env = v.(Envelope)
+		at = sim.Now()
+	})
+	sim.Wait()
+	if want := vclock.Epoch.Add(50 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+	if env.From != "a" || env.To != "c" || env.Payload.(string) != "ping" {
+		t.Errorf("envelope = %+v", env)
+	}
+	if !env.SentAt.Equal(vclock.Epoch) {
+		t.Errorf("SentAt = %v, want epoch", env.SentAt)
+	}
+}
+
+func TestSendToUnknownEndpointDropped(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	a := b.Register("a", 0)
+	var ok bool
+	sim.Go(func() { ok = a.Send("ghost", 1) })
+	sim.Wait()
+	if ok {
+		t.Error("Send to unknown endpoint reported true")
+	}
+	if s := b.Stats(); s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestPublishFansOutToSubscribersOnly(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	pub := b.Register("pub", 0)
+	subs := []*Endpoint{b.Register("w1", 0), b.Register("w2", 0), b.Register("w3", 0)}
+	other := b.Register("outsider", 0)
+	for _, s := range subs {
+		s.Subscribe("jobs")
+	}
+	var n int
+	got := make([]string, 0, 3)
+	sim.Go(func() {
+		n = pub.Publish("jobs", "job-1")
+		for _, s := range subs {
+			v, _ := s.Inbox().Recv()
+			env := v.(Envelope)
+			if env.Topic != "jobs" {
+				t.Errorf("Topic = %q", env.Topic)
+			}
+			got = append(got, env.Payload.(string))
+		}
+		if _, ok := other.Inbox().TryRecv(); ok {
+			t.Error("non-subscriber received publication")
+		}
+	})
+	sim.Wait()
+	if n != 3 || len(got) != 3 {
+		t.Errorf("delivered to %d/%d subscribers", n, len(got))
+	}
+	if s := b.Stats(); s.Published != 1 || s.Fanout != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	pub := b.Register("pub", 0)
+	w := b.Register("w", 0)
+	w.Subscribe("t")
+	w.Unsubscribe("t")
+	var n int
+	sim.Go(func() { n = pub.Publish("t", 1) })
+	sim.Wait()
+	if n != 0 {
+		t.Errorf("Publish delivered to %d endpoints after unsubscribe", n)
+	}
+}
+
+func TestDisconnectedEndpointDropsTraffic(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	a := b.Register("a", 0)
+	w := b.Register("w", 0)
+	w.Subscribe("t")
+	w.Disconnect()
+	var sendOK bool
+	var fan int
+	sim.Go(func() {
+		sendOK = a.Send("w", 1)
+		fan = a.Publish("t", 2)
+	})
+	sim.Wait()
+	if sendOK || fan != 0 {
+		t.Errorf("disconnected endpoint still reachable: send=%v fanout=%d", sendOK, fan)
+	}
+	w.Reconnect()
+	var okAgain bool
+	sim.Go(func() { okAgain = a.Send("w", 3) })
+	sim.Wait()
+	if !okAgain {
+		t.Error("reconnected endpoint unreachable")
+	}
+}
+
+func TestDisconnectedSenderCannotSend(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	a := b.Register("a", 0)
+	b.Register("w", 0)
+	a.Disconnect()
+	var ok bool
+	var fan int
+	sim.Go(func() {
+		ok = a.Send("w", 1)
+		fan = a.Publish("t", 1)
+	})
+	sim.Wait()
+	if ok || fan != 0 {
+		t.Error("disconnected sender's messages were delivered")
+	}
+}
+
+func TestCustomDelayFunc(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	b.SetDelayFunc(func(from, to *Endpoint) time.Duration { return time.Second })
+	a := b.Register("a", 0)
+	c := b.Register("c", 0)
+	var at time.Time
+	sim.Go(func() { a.Send("c", 1) })
+	sim.Go(func() {
+		c.Inbox().Recv()
+		at = sim.Now()
+	})
+	sim.Wait()
+	if want := vclock.Epoch.Add(time.Second); !at.Equal(want) {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+	b.SetDelayFunc(nil) // restores the default without panicking
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate registration")
+		}
+	}()
+	b := New(vclock.NewSim())
+	b.Register("x", 0)
+	b.Register("x", 0)
+}
+
+func TestLookupAndEndpoints(t *testing.T) {
+	b := New(vclock.NewSim())
+	ep := b.Register("node-1", 5*time.Millisecond)
+	if ep.Name() != "node-1" || ep.Link() != 5*time.Millisecond {
+		t.Errorf("endpoint accessors: %q %v", ep.Name(), ep.Link())
+	}
+	got, ok := b.Lookup("node-1")
+	if !ok || got != ep {
+		t.Error("Lookup failed")
+	}
+	if _, ok := b.Lookup("nope"); ok {
+		t.Error("Lookup found missing endpoint")
+	}
+	if names := b.Endpoints(); len(names) != 1 || names[0] != "node-1" {
+		t.Errorf("Endpoints = %v", names)
+	}
+}
+
+func TestMessageOrderingPreservedPerLink(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	a := b.Register("a", 3*time.Millisecond)
+	c := b.Register("c", 3*time.Millisecond)
+	const n = 50
+	var got []int
+	sim.Go(func() {
+		for i := 0; i < n; i++ {
+			a.Send("c", i)
+		}
+	})
+	sim.Go(func() {
+		for i := 0; i < n; i++ {
+			v, _ := c.Inbox().Recv()
+			got = append(got, v.(Envelope).Payload.(int))
+		}
+	})
+	sim.Wait()
+	if len(got) != n {
+		t.Fatalf("received %d messages, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d arrived out of order: got %d", i, v)
+		}
+	}
+}
+
+func TestZeroLatencyDeliversImmediately(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	a := b.Register("a", 0)
+	c := b.Register("c", 0)
+	var at time.Time
+	sim.Go(func() {
+		a.Send("c", 1)
+		c.Inbox().Recv()
+		at = sim.Now()
+	})
+	sim.Wait()
+	if !at.Equal(vclock.Epoch) {
+		t.Errorf("zero-latency delivery advanced time to %v", at)
+	}
+}
+
+func TestBrokerOnRealClock(t *testing.T) {
+	clk := vclock.NewScaledReal(1000)
+	b := New(clk)
+	a := b.Register("a", 100*time.Millisecond) // 0.1ms wall after scaling
+	c := b.Register("c", 100*time.Millisecond)
+	done := make(chan Envelope, 1)
+	go func() {
+		v, _ := c.Inbox().Recv()
+		done <- v.(Envelope)
+	}()
+	a.Send("c", "live")
+	select {
+	case env := <-done:
+		if env.Payload.(string) != "live" {
+			t.Errorf("payload = %v", env.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery never arrived on real clock")
+	}
+}

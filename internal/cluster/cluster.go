@@ -1,0 +1,195 @@
+// Package cluster defines worker-fleet profiles: the paper's four
+// five-worker configurations (§6.3.1) and helpers to materialize them
+// into engine worker states. Speeds are chosen to mirror the t3.micro
+// fleet's character — modest baseline bandwidth, with "significantly"
+// faster/slower outliers — and every worker carries the noise scheme the
+// paper applies during execution.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"crossflow/internal/engine"
+	"crossflow/internal/netsim"
+)
+
+// Profile names the paper's worker configurations.
+type Profile int
+
+const (
+	// AllEqual: all five workers share (nearly) the same network and
+	// read/write speeds and storage.
+	AllEqual Profile = iota
+	// OneFast: one worker is significantly faster than the others.
+	OneFast
+	// OneSlow: one worker is significantly slower than the others.
+	OneSlow
+	// FastSlow: one fast and one slow worker; the remaining three are
+	// average.
+	FastSlow
+)
+
+// Profiles lists the four configurations in paper order.
+var Profiles = []Profile{AllEqual, OneFast, OneSlow, FastSlow}
+
+// String returns the paper's name for the profile.
+func (p Profile) String() string {
+	switch p {
+	case AllEqual:
+		return "all-equal"
+	case OneFast:
+		return "one-fast"
+	case OneSlow:
+		return "one-slow"
+	case FastSlow:
+		return "fast-slow"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// ParseProfile resolves a profile by its String name.
+func ParseProfile(s string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown profile %q", s)
+}
+
+// Options tunes fleet construction.
+type Options struct {
+	// Workers is the fleet size; zero defaults to the paper's five.
+	Workers int
+	// CacheMB is the per-worker storage capacity; zero defaults to
+	// 50000 MB, enough to hold a full 120-job working set as the paper's
+	// EBS volumes evidently did. Smaller capacities create eviction
+	// pressure that stales the Bidding scheduler's at-arrival locality
+	// decisions (see BenchmarkAblationCache); negative means unbounded.
+	CacheMB float64
+	// NoiseAmp is the execution-time speed noise; zero defaults to 0.2,
+	// negative disables noise.
+	NoiseAmp float64
+	// Link is the per-worker broker latency; zero defaults to 20ms
+	// (geographically distributed instances), negative disables latency.
+	Link time.Duration
+	// BidDelay is the bid-computation time; zero defaults to 10ms,
+	// negative disables it.
+	BidDelay time.Duration
+	// Seed offsets each worker's noise stream.
+	Seed int64
+	// Drift enables slow sinusoidal speed fluctuation.
+	Drift bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 5
+	}
+	if o.CacheMB == 0 {
+		o.CacheMB = 50000
+	}
+	switch {
+	case o.NoiseAmp == 0:
+		o.NoiseAmp = 0.2
+	case o.NoiseAmp < 0:
+		o.NoiseAmp = 0
+	}
+	switch {
+	case o.Link == 0:
+		o.Link = 20 * time.Millisecond
+	case o.Link < 0:
+		o.Link = 0
+	}
+	switch {
+	case o.BidDelay == 0:
+		o.BidDelay = 10 * time.Millisecond
+	case o.BidDelay < 0:
+		o.BidDelay = 0
+	}
+	return o
+}
+
+// Speed tiers, in MB/s. t3.micro-like baseline download speed with the
+// read/write channel a few times faster, and one-order-of-magnitude
+// outliers for the "significantly faster/slower" workers.
+const (
+	avgNet  = 12.5
+	avgRW   = 60.0
+	fastNet = 40.0
+	fastRW  = 150.0
+	slowNet = 3.0
+	slowRW  = 20.0
+)
+
+// tier describes one worker's speed pair.
+type tier struct{ net, rw float64 }
+
+// tiers returns the per-worker speed tiers for a profile and fleet size.
+// The fast worker (if any) is index 0 and the slow one the last index,
+// matching how the paper describes the outliers.
+func (p Profile) tiers(n int) []tier {
+	out := make([]tier, n)
+	for i := range out {
+		out[i] = tier{avgNet, avgRW}
+	}
+	switch p {
+	case OneFast:
+		out[0] = tier{fastNet, fastRW}
+	case OneSlow:
+		out[n-1] = tier{slowNet, slowRW}
+	case FastSlow:
+		out[0] = tier{fastNet, fastRW}
+		out[n-1] = tier{slowNet, slowRW}
+	}
+	return out
+}
+
+// Specs materializes the worker specifications for a profile.
+func Specs(p Profile, opts Options) []engine.WorkerSpec {
+	o := opts.withDefaults()
+	tiers := p.tiers(o.Workers)
+	specs := make([]engine.WorkerSpec, 0, o.Workers)
+	for i, tr := range tiers {
+		var driftAmp float64
+		if o.Drift {
+			driftAmp = 0.15
+		}
+		specs = append(specs, engine.WorkerSpec{
+			Name: fmt.Sprintf("worker-%d", i),
+			Net: netsim.Speed{
+				BaseMBps: tr.net, NoiseAmp: o.NoiseAmp,
+				DriftAmp: driftAmp, DriftPeriod: 20 * time.Minute,
+				DriftPhase: float64(i),
+			},
+			RW: netsim.Speed{
+				BaseMBps: tr.rw, NoiseAmp: o.NoiseAmp,
+				DriftAmp: driftAmp, DriftPeriod: 30 * time.Minute,
+				DriftPhase: float64(i) * 2,
+			},
+			CacheMB:  o.CacheMB,
+			Link:     o.Link,
+			BidDelay: o.BidDelay,
+			Seed:     o.Seed*1000 + int64(i) + 1,
+		})
+	}
+	return specs
+}
+
+// Build materializes the persistent worker states for a profile. costs
+// builds each worker's cost model from its spec; nil uses the default
+// perfect-knowledge static model.
+func Build(p Profile, opts Options, costs func(engine.WorkerSpec) engine.CostModel) []*engine.WorkerState {
+	specs := Specs(p, opts)
+	states := make([]*engine.WorkerState, 0, len(specs))
+	for _, spec := range specs {
+		var cm engine.CostModel
+		if costs != nil {
+			cm = costs(spec)
+		}
+		states = append(states, engine.NewWorkerState(spec, cm))
+	}
+	return states
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfileNamesRoundTrip(t *testing.T) {
+	for _, p := range Profiles {
+		got, err := ParseProfile(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProfile(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProfile("warp-speed"); err == nil {
+		t.Error("ParseProfile accepted garbage")
+	}
+	if Profile(77).String() == "" {
+		t.Error("unknown profile has empty String")
+	}
+}
+
+func TestSpecsFleetShapes(t *testing.T) {
+	for _, tc := range []struct {
+		p          Profile
+		fast, slow int
+	}{
+		{AllEqual, 0, 0},
+		{OneFast, 1, 0},
+		{OneSlow, 0, 1},
+		{FastSlow, 1, 1},
+	} {
+		specs := Specs(tc.p, Options{})
+		if len(specs) != 5 {
+			t.Fatalf("%v: %d workers, want 5", tc.p, len(specs))
+		}
+		var fast, slow int
+		for _, s := range specs {
+			switch {
+			case s.Net.BaseMBps >= fastNet:
+				fast++
+			case s.Net.BaseMBps <= slowNet:
+				slow++
+			}
+		}
+		if fast != tc.fast || slow != tc.slow {
+			t.Errorf("%v: fast=%d slow=%d, want %d/%d", tc.p, fast, slow, tc.fast, tc.slow)
+		}
+	}
+}
+
+func TestSpecsUniqueNamesAndSeeds(t *testing.T) {
+	specs := Specs(FastSlow, Options{Workers: 7, Seed: 3})
+	names := map[string]bool{}
+	seeds := map[int64]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		if seeds[s.Seed] {
+			t.Errorf("duplicate seed %d", s.Seed)
+		}
+		names[s.Name] = true
+		seeds[s.Seed] = true
+	}
+}
+
+func TestOptionsDefaultsAndOverrides(t *testing.T) {
+	def := Specs(AllEqual, Options{})[0]
+	if def.CacheMB != 50000 || def.Net.NoiseAmp != 0.2 ||
+		def.Link != 20*time.Millisecond || def.BidDelay != 10*time.Millisecond {
+		t.Errorf("defaults wrong: %+v", def)
+	}
+	quiet := Specs(AllEqual, Options{NoiseAmp: -1, Link: -1, BidDelay: -1})[0]
+	if quiet.Net.NoiseAmp != 0 || quiet.Link != 0 || quiet.BidDelay != 0 {
+		t.Errorf("negative options should disable: %+v", quiet)
+	}
+	drifted := Specs(AllEqual, Options{Drift: true})[0]
+	if drifted.Net.DriftAmp == 0 {
+		t.Error("Drift option had no effect")
+	}
+	if undrifted := Specs(AllEqual, Options{})[0]; undrifted.Net.DriftAmp != 0 {
+		t.Error("drift enabled by default")
+	}
+}
+
+func TestBuildProducesReadyStates(t *testing.T) {
+	states := Build(OneFast, Options{Seed: 1}, nil)
+	if len(states) != 5 {
+		t.Fatalf("Build returned %d states", len(states))
+	}
+	for _, st := range states {
+		if st.Cache == nil || st.Link == nil || st.Costs == nil {
+			t.Fatalf("state %q incomplete", st.Spec.Name)
+		}
+		if st.Cache.CapacityMB() != st.Spec.CacheMB {
+			t.Errorf("cache capacity mismatch for %q", st.Spec.Name)
+		}
+	}
+	if states[0].Link.NominalNetMBps() != fastNet {
+		t.Errorf("fast worker nominal = %v", states[0].Link.NominalNetMBps())
+	}
+}

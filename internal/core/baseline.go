@@ -1,0 +1,124 @@
+package core
+
+import (
+	"time"
+
+	"crossflow/internal/engine"
+)
+
+// BaselineAllocator is the master side of Crossflow's original
+// opinionated-worker scheduling (§4): workers pull jobs; the master
+// offers the oldest pending job to the next pulling worker; a rejected
+// job is returned "so another worker can consider it" (it goes to the
+// back of the queue, and the rejecting worker pulls the next one).
+type BaselineAllocator struct {
+	engine.NopAllocator
+
+	pending []string // job IDs, FIFO
+	waiting []string // idle workers with an outstanding pull, FIFO
+	parked  map[string]bool
+}
+
+// NewBaseline returns the Crossflow baseline allocator.
+func NewBaseline() *BaselineAllocator {
+	return &BaselineAllocator{parked: make(map[string]bool)}
+}
+
+// Name implements engine.Allocator.
+func (b *BaselineAllocator) Name() string { return "baseline" }
+
+// JobReady implements engine.Allocator: queue the job and serve any
+// parked pulls.
+func (b *BaselineAllocator) JobReady(ctx engine.AllocCtx, job *engine.Job) {
+	b.pending = append(b.pending, job.ID)
+	b.serve(ctx)
+}
+
+// WorkerIdle implements engine.Allocator: a worker pulls for work.
+func (b *BaselineAllocator) WorkerIdle(ctx engine.AllocCtx, req engine.MsgRequestJob) {
+	if b.parked[req.Worker] {
+		return // duplicate pull
+	}
+	b.parked[req.Worker] = true
+	b.waiting = append(b.waiting, req.Worker)
+	b.serve(ctx)
+}
+
+// OfferRejected implements engine.Allocator: the job returns to the back
+// of the queue. The rejecting worker pulls again on its own.
+func (b *BaselineAllocator) OfferRejected(ctx engine.AllocCtx, jobID, worker string) {
+	b.pending = append(b.pending, jobID)
+	b.serve(ctx)
+}
+
+// WorkerLost implements engine.Allocator: forget the worker's pull.
+func (b *BaselineAllocator) WorkerLost(ctx engine.AllocCtx, worker string, _ []*engine.Job) {
+	if !b.parked[worker] {
+		return
+	}
+	delete(b.parked, worker)
+	for i, w := range b.waiting {
+		if w == worker {
+			b.waiting = append(b.waiting[:i], b.waiting[i+1:]...)
+			break
+		}
+	}
+}
+
+// serve matches pending jobs to parked pulls, oldest first.
+func (b *BaselineAllocator) serve(ctx engine.AllocCtx) {
+	for len(b.pending) > 0 && len(b.waiting) > 0 {
+		jobID := b.pending[0]
+		b.pending = b.pending[1:]
+		worker := b.waiting[0]
+		b.waiting = b.waiting[1:]
+		delete(b.parked, worker)
+		ctx.Offer(jobID, worker)
+	}
+}
+
+// PendingJobs reports the allocation backlog (for tests/diagnostics).
+func (b *BaselineAllocator) PendingJobs() int { return len(b.pending) }
+
+// BaselineAgent is the worker side of the opinionated baseline: accept a
+// job if its data is local, otherwise decline it once and accept it on
+// the second attempt (§4: workers "keep track of any jobs they have
+// previously declined" and accept them "upon a second attempt").
+type BaselineAgent struct {
+	declined map[string]bool
+}
+
+// NewBaselineAgent returns the worker-side baseline policy.
+func NewBaselineAgent() *BaselineAgent {
+	return &BaselineAgent{declined: make(map[string]bool)}
+}
+
+// Name implements engine.Agent.
+func (*BaselineAgent) Name() string { return "baseline" }
+
+// Start implements engine.Agent: issue the first pull.
+func (*BaselineAgent) Start(w *engine.Worker) { w.RequestWork(0) }
+
+// OnOffer implements engine.Agent: the acceptance criteria. For the MSR
+// workload the criterion is data locality — the job's repository is in
+// the local cache — with the second-attempt override.
+func (a *BaselineAgent) OnOffer(w *engine.Worker, job *engine.Job) {
+	local := job.DataKey == "" || w.Cache().Contains(job.DataKey)
+	if local || a.declined[job.ID] {
+		w.AcceptOffer(job)
+		return
+	}
+	a.declined[job.ID] = true
+	w.RejectOffer(job)
+	w.RequestWork(0) // pull the next job immediately
+}
+
+// OnBidRequest implements engine.Agent; the baseline never bids.
+func (*BaselineAgent) OnBidRequest(*engine.Worker, *engine.Job) {}
+
+// OnNoWork implements engine.Agent with a no-op: the baseline master
+// parks pulls instead of answering NoWork.
+func (*BaselineAgent) OnNoWork(*engine.Worker, time.Duration) {}
+
+// OnJobFinished implements engine.Agent: pull the next job.
+func (*BaselineAgent) OnJobFinished(w *engine.Worker, _ *engine.Job) { w.RequestWork(0) }

@@ -1,0 +1,167 @@
+// Package core implements the job-allocation policies under study: the
+// paper's Bidding Scheduler (§5), the Crossflow Baseline it improves on
+// (§4), the Spark-like centralized comparator (Figure 2), and the
+// Matchmaking and Random policies used as extensions/ablations. Each
+// policy is a pair: an engine.Allocator (master side) and an
+// engine.Agent (worker side).
+package core
+
+import (
+	"sort"
+	"time"
+
+	"crossflow/internal/engine"
+)
+
+// DefaultBidWindow is the paper's bidding threshold: "The master waits
+// for workers to make submissions within one second".
+const DefaultBidWindow = time.Second
+
+// BiddingAllocator is the master side of the Bidding Scheduler
+// (Listing 1): publish each incoming job for bidding, collect bids until
+// every active worker answered or the window expires, and assign the job
+// to the lowest bidder — or to an arbitrary worker if nobody bid.
+type BiddingAllocator struct {
+	engine.NopAllocator
+	// Window overrides the bidding threshold; zero means
+	// DefaultBidWindow.
+	Window time.Duration
+	// FastLocalClose closes a contest as soon as a data-local bid
+	// arrives, instead of waiting for the full fleet — the paper's
+	// future-work item on "minimizing the bidding overhead for highly
+	// local jobs". The winner is still the lowest estimate received so
+	// far, so an overloaded local worker does not beat a cheaper remote
+	// one that answered earlier.
+	FastLocalClose bool
+
+	contests map[string]*contest
+}
+
+type contest struct {
+	expected int
+	bids     []engine.MsgBid
+	closed   bool
+}
+
+// NewBidding returns a Bidding allocator with the paper's one-second
+// window.
+func NewBidding() *BiddingAllocator { return &BiddingAllocator{} }
+
+// Name implements engine.Allocator.
+func (b *BiddingAllocator) Name() string {
+	if b.FastLocalClose {
+		return "bidding-fast"
+	}
+	return "bidding"
+}
+
+func (b *BiddingAllocator) window() time.Duration {
+	if b.Window > 0 {
+		return b.Window
+	}
+	return DefaultBidWindow
+}
+
+// JobReady implements engine.Allocator: sendJob (Listing 1, lines 1–4).
+func (b *BiddingAllocator) JobReady(ctx engine.AllocCtx, job *engine.Job) {
+	if b.contests == nil {
+		b.contests = make(map[string]*contest)
+	}
+	reached := ctx.PublishBidRequest(job.ID)
+	b.contests[job.ID] = &contest{expected: reached}
+	ctx.ScheduleBidWindow(job.ID, b.window())
+	if reached == 0 {
+		// Nobody to bid: fall through to the arbitrary-assignment path
+		// when the window fires (there may be no workers at all yet).
+		return
+	}
+}
+
+// BidReceived implements engine.Allocator: receiveBid (Listing 1,
+// lines 6–15).
+func (b *BiddingAllocator) BidReceived(ctx engine.AllocCtx, bid engine.MsgBid) {
+	c := b.contests[bid.JobID]
+	if c == nil || c.closed {
+		return // late bid for a closed contest
+	}
+	c.bids = append(c.bids, bid)
+	if len(c.bids) >= c.expected || (b.FastLocalClose && bid.Local) {
+		b.close(ctx, bid.JobID, c)
+	}
+}
+
+// BidWindowExpired implements engine.Allocator: the threshold arm of
+// biddingFinished (Listing 1, line 30).
+func (b *BiddingAllocator) BidWindowExpired(ctx engine.AllocCtx, jobID string) {
+	c := b.contests[jobID]
+	if c == nil || c.closed {
+		return
+	}
+	b.close(ctx, jobID, c)
+}
+
+// close concludes a contest: getPreferredWorker + sendToWorker
+// (Listing 1, lines 17–27), with the arbitrary-node fallback when no
+// bids arrived in time.
+func (b *BiddingAllocator) close(ctx engine.AllocCtx, jobID string, c *contest) {
+	c.closed = true
+	delete(b.contests, jobID)
+	if len(c.bids) == 0 {
+		workers := ctx.Workers()
+		if len(workers) == 0 {
+			// No workers at all: retry a full contest shortly.
+			ctx.ScheduleBidWindow(jobID, b.window())
+			b.contests[jobID] = &contest{expected: 0}
+			return
+		}
+		if m, ok := ctx.(interface{ CountFallback() }); ok {
+			m.CountFallback()
+		}
+		ctx.Assign(jobID, workers[ctx.Rand().Intn(len(workers))], 0)
+		return
+	}
+	sort.SliceStable(c.bids, func(i, j int) bool {
+		if c.bids[i].Estimate != c.bids[j].Estimate {
+			return c.bids[i].Estimate < c.bids[j].Estimate
+		}
+		return c.bids[i].Worker < c.bids[j].Worker
+	})
+	win := c.bids[0]
+	ctx.Assign(jobID, win.Worker, win.JobCost)
+}
+
+// OpenContests reports how many contests are currently open (for tests
+// and diagnostics).
+func (b *BiddingAllocator) OpenContests() int { return len(b.contests) }
+
+// BiddingAgent is the worker side of the Bidding Scheduler (Listing 2):
+// on every bid request, estimate current workload plus the job's
+// transfer and processing time and submit.
+type BiddingAgent struct{}
+
+// NewBiddingAgent returns the worker-side bidding policy.
+func NewBiddingAgent() *BiddingAgent { return &BiddingAgent{} }
+
+// Name implements engine.Agent.
+func (*BiddingAgent) Name() string { return "bidding" }
+
+// Start implements engine.Agent; bidding workers are push-fed and need
+// no initial pull.
+func (*BiddingAgent) Start(*engine.Worker) {}
+
+// OnBidRequest implements engine.Agent: sendBid (Listing 2, lines 1–7).
+func (*BiddingAgent) OnBidRequest(w *engine.Worker, job *engine.Job) {
+	workload := w.QueuedCost()                                          // line 2: totalCostOfUnfinishedJobs
+	jobCost := w.EstimateJob(job)                                       // lines 4–5: transfer + processing
+	w.SubmitBid(job.ID, workload+jobCost, jobCost, w.JobDataLocal(job)) // line 6
+}
+
+// OnOffer implements engine.Agent. The bidding protocol never offers,
+// but accept defensively so no job can be stranded by a mixed setup.
+func (*BiddingAgent) OnOffer(w *engine.Worker, job *engine.Job) { w.AcceptOffer(job) }
+
+// OnNoWork implements engine.Agent with a no-op.
+func (*BiddingAgent) OnNoWork(*engine.Worker, time.Duration) {}
+
+// OnJobFinished implements engine.Agent with a no-op.
+func (*BiddingAgent) OnJobFinished(*engine.Worker, *engine.Job) {}

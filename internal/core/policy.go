@@ -1,0 +1,66 @@
+package core
+
+import "crossflow/internal/engine"
+
+// Policy bundles the two halves of an allocation strategy so harnesses
+// and binaries can select schedulers by name.
+type Policy struct {
+	// Name is the policy's identifier ("bidding", "baseline", …).
+	Name string
+	// NewAllocator builds a fresh master-side strategy for one run.
+	NewAllocator func() engine.Allocator
+	// NewAgent builds the matching worker-side agent for one worker.
+	NewAgent func(st *engine.WorkerState) engine.Agent
+}
+
+// Policies returns all available policies in presentation order: the
+// paper's contribution first, then its baseline, then the comparators.
+func Policies() []Policy {
+	return []Policy{
+		{
+			Name:         "bidding",
+			NewAllocator: func() engine.Allocator { return NewBidding() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewBiddingAgent() },
+		},
+		{
+			Name:         "baseline",
+			NewAllocator: func() engine.Allocator { return NewBaseline() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewBaselineAgent() },
+		},
+		{
+			Name:         "spark-like",
+			NewAllocator: func() engine.Allocator { return NewSparkLike() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewPassiveAgent() },
+		},
+		{
+			Name:         "bidding-fast",
+			NewAllocator: func() engine.Allocator { return &BiddingAllocator{FastLocalClose: true} },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewBiddingAgent() },
+		},
+		{
+			Name:         "matchmaking",
+			NewAllocator: func() engine.Allocator { return NewMatchmaking() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewMatchmakingAgent() },
+		},
+		{
+			Name:         "delay",
+			NewAllocator: func() engine.Allocator { return NewDelay() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewMatchmakingAgent() },
+		},
+		{
+			Name:         "random",
+			NewAllocator: func() engine.Allocator { return NewRandom() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewPassiveAgent() },
+		},
+	}
+}
+
+// PolicyByName resolves a policy.
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range Policies() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}

@@ -1,0 +1,785 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"crossflow/internal/core"
+	"crossflow/internal/engine"
+	"crossflow/internal/netsim"
+	"crossflow/internal/vclock"
+)
+
+// testCluster builds n homogeneous workers with no noise, so test
+// durations are exact.
+func testCluster(n int, netMBps, rwMBps, cacheMB float64) []*engine.WorkerState {
+	ws := make([]*engine.WorkerState, 0, n)
+	for i := 0; i < n; i++ {
+		ws = append(ws, engine.NewWorkerState(engine.WorkerSpec{
+			Name:    fmt.Sprintf("w%d", i),
+			Net:     netsim.Speed{BaseMBps: netMBps},
+			RW:      netsim.Speed{BaseMBps: rwMBps},
+			CacheMB: cacheMB,
+			Seed:    int64(i + 1),
+		}, nil))
+	}
+	return ws
+}
+
+// dataJobs builds arrivals at t=0 on the "work" stream, one per repo key.
+func dataJobs(keys []string, sizeMB float64) []engine.Arrival {
+	arr := make([]engine.Arrival, 0, len(keys))
+	for i, k := range keys {
+		arr = append(arr, engine.Arrival{Job: &engine.Job{
+			ID:         fmt.Sprintf("j%02d", i),
+			Stream:     "work",
+			DataKey:    k,
+			DataSizeMB: sizeMB,
+		}})
+	}
+	return arr
+}
+
+func dataWorkflow() *engine.Workflow {
+	wf := engine.NewWorkflow("test")
+	wf.MustAddTask(engine.TaskSpec{Name: "process", Input: "work"})
+	return wf
+}
+
+func runOrFail(t *testing.T, cfg engine.Config) *engine.Report {
+	t.Helper()
+	rep, err := engine.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func TestBiddingSingleJobExactMakespan(t *testing.T) {
+	// One worker, 100MB at 10MB/s download + 100MB/s processing:
+	// 10s transfer + 1s process, no latencies, no noise.
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(1, 10, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"r1"}, 100),
+	})
+	if rep.JobsCompleted != 1 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	if want := 11 * time.Second; rep.Makespan != want {
+		t.Errorf("Makespan = %v, want %v", rep.Makespan, want)
+	}
+	if rep.CacheMisses != 1 || rep.CacheHits != 0 {
+		t.Errorf("cache stats: %d misses, %d hits", rep.CacheMisses, rep.CacheHits)
+	}
+	if rep.DataLoadMB != 100 {
+		t.Errorf("DataLoadMB = %v", rep.DataLoadMB)
+	}
+	if rep.Contests != 1 || rep.Bids != 1 {
+		t.Errorf("contests=%d bids=%d", rep.Contests, rep.Bids)
+	}
+}
+
+func TestBiddingAllJobsComplete(t *testing.T) {
+	keys := make([]string, 30)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(5, 20, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 50),
+	})
+	if rep.JobsCompleted != 30 {
+		t.Fatalf("JobsCompleted = %d, want 30", rep.JobsCompleted)
+	}
+	if rep.Contests != 30 {
+		t.Errorf("Contests = %d, want 30", rep.Contests)
+	}
+	if rep.Bids != 150 {
+		t.Errorf("Bids = %d, want 150 (5 workers x 30 contests)", rep.Bids)
+	}
+	var jobsAcrossWorkers int
+	for _, w := range rep.Workers {
+		jobsAcrossWorkers += w.JobsDone
+	}
+	if jobsAcrossWorkers != 30 {
+		t.Errorf("per-worker JobsDone sums to %d", jobsAcrossWorkers)
+	}
+	for id, rec := range rep.Records {
+		if rec.Status != engine.StatusFinished {
+			t.Errorf("job %s ended in status %v", id, rec.Status)
+		}
+		if rec.Finished.Before(rec.Queued) {
+			t.Errorf("job %s finished before queueing", id)
+		}
+	}
+}
+
+func TestBiddingPrefersWorkerWithData(t *testing.T) {
+	// Warm w0's cache with repo "hot", then submit three jobs needing
+	// it: all should go to w0 with zero transfers.
+	workers := testCluster(3, 10, 100, 0)
+	workers[0].Cache.Put("hot", 200)
+	rep := runOrFail(t, engine.Config{
+		Workers:   workers,
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"hot", "hot", "hot"}, 200),
+	})
+	if rep.CacheMisses != 0 {
+		t.Errorf("CacheMisses = %d, want 0 (data already local on w0)", rep.CacheMisses)
+	}
+	if rep.DataLoadMB != 0 {
+		t.Errorf("DataLoadMB = %v, want 0", rep.DataLoadMB)
+	}
+	if rep.Workers[0].JobsDone != 3 {
+		t.Errorf("w0 did %d jobs, want all 3", rep.Workers[0].JobsDone)
+	}
+}
+
+func TestBiddingOffloadsWhenLocalWorkerOverloaded(t *testing.T) {
+	// w0 holds the repo but has a deliberately long queue; the bidding
+	// scheduler should judge a redundant clone cheaper than waiting —
+	// "redundant resources occur only to accelerate overall execution".
+	workers := testCluster(2, 50, 100, 0)
+	workers[0].Cache.Put("hot", 100)
+	keys := []string{"hot", "hot", "hot", "hot", "hot", "hot"}
+	rep := runOrFail(t, engine.Config{
+		Workers:   workers,
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 100),
+	})
+	if rep.Workers[1].JobsDone == 0 {
+		t.Error("w1 never helped despite w0's growing queue")
+	}
+	if rep.CacheMisses != 1 {
+		t.Errorf("CacheMisses = %d, want exactly 1 (w1's single clone)", rep.CacheMisses)
+	}
+}
+
+func TestBaselineCompletesAndRejectsOnColdCache(t *testing.T) {
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(4, 20, 100, 0),
+		Allocator: core.NewBaseline(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBaselineAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 50),
+	})
+	if rep.JobsCompleted != 20 {
+		t.Fatalf("JobsCompleted = %d, want 20", rep.JobsCompleted)
+	}
+	// On a cold cache every worker rejects every job it sees once (§4's
+	// first constraint), so rejections must be plentiful.
+	if rep.Rejections == 0 {
+		t.Error("no rejections on a cold cache")
+	}
+	if rep.Offers <= rep.JobsCompleted {
+		t.Errorf("Offers = %d, want more than %d (rejected offers retry)",
+			rep.Offers, rep.JobsCompleted)
+	}
+	if rep.CacheMisses != 20 {
+		t.Errorf("CacheMisses = %d, want 20", rep.CacheMisses)
+	}
+}
+
+func TestBaselineWarmCacheUsesLocality(t *testing.T) {
+	keys := []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"}
+	workers := testCluster(4, 20, 100, 0)
+	cfg := engine.Config{
+		Workers:   workers,
+		Allocator: core.NewBaseline(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBaselineAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 50),
+	}
+	first := runOrFail(t, cfg)
+	// Iteration 2: same jobs, caches persist (fresh allocator + agents).
+	cfg.Allocator = core.NewBaseline()
+	cfg.Arrivals = dataJobs(keys, 50)
+	second := runOrFail(t, cfg)
+	if first.CacheMisses != 8 {
+		t.Errorf("first run misses = %d, want 8", first.CacheMisses)
+	}
+	if second.CacheMisses != 0 {
+		t.Errorf("second run misses = %d, want 0 (workers accept only local jobs)", second.CacheMisses)
+	}
+	if second.DataLoadMB != 0 {
+		t.Errorf("second run data load = %v", second.DataLoadMB)
+	}
+	if second.Makespan >= first.Makespan {
+		t.Errorf("warm run (%v) not faster than cold (%v)", second.Makespan, first.Makespan)
+	}
+}
+
+func TestSparkLikeRoundRobin(t *testing.T) {
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(4, 20, 100, 0),
+		Allocator: core.NewSparkLike(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewPassiveAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 50),
+	})
+	if rep.JobsCompleted != 12 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	for _, w := range rep.Workers {
+		if w.JobsDone != 3 {
+			t.Errorf("%s did %d jobs, want exactly 3 (round-robin)", w.Name, w.JobsDone)
+		}
+	}
+	if rep.Contests != 0 || rep.Offers != 0 {
+		t.Errorf("centralized policy used contests=%d offers=%d", rep.Contests, rep.Offers)
+	}
+}
+
+func TestMatchmakingCompletesAndMatchesLocality(t *testing.T) {
+	workers := testCluster(3, 20, 100, 0)
+	workers[1].Cache.Put("hot", 50)
+	keys := []string{"hot", "a", "b", "hot", "c", "hot"}
+	rep := runOrFail(t, engine.Config{
+		Workers:   workers,
+		Allocator: core.NewMatchmaking(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewMatchmakingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 50),
+	})
+	if rep.JobsCompleted != 6 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	if rep.CacheHits == 0 {
+		t.Error("matchmaking never matched a local job")
+	}
+}
+
+func TestRandomAllocatorCompletes(t *testing.T) {
+	keys := make([]string, 15)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(3, 20, 100, 0),
+		Allocator: core.NewRandom(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewPassiveAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 50),
+		Seed:      7,
+	})
+	if rep.JobsCompleted != 15 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+}
+
+func TestPipelineProducesDownstreamJobsAndResults(t *testing.T) {
+	// Stage 1 fans each job out into two stage-2 jobs; stage 2 emits a
+	// result. 4 arrivals -> 8 downstream jobs -> 8 results.
+	wf := engine.NewWorkflow("pipeline")
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "split",
+		Input: "stage1",
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			ctx.Process(10)
+			return []*engine.Job{
+				{Stream: "stage2", DataKey: job.DataKey + "/left", DataSizeMB: 20},
+				{Stream: "stage2", DataKey: job.DataKey + "/right", DataSizeMB: 20},
+			}, nil, nil
+		},
+	})
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "analyze",
+		Input: "stage2",
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			ctx.RequireData(job.DataKey, job.DataSizeMB)
+			ctx.Process(20)
+			return nil, []any{"done:" + job.DataKey}, nil
+		},
+	})
+	arr := make([]engine.Arrival, 4)
+	for i := range arr {
+		arr[i] = engine.Arrival{Job: &engine.Job{Stream: "stage1", DataKey: fmt.Sprintf("r%d", i)}}
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(3, 50, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  wf,
+		Arrivals:  arr,
+	})
+	if rep.JobsCompleted != 12 {
+		t.Errorf("JobsCompleted = %d, want 12 (4 stage1 + 8 stage2)", rep.JobsCompleted)
+	}
+	if len(rep.Results) != 8 {
+		t.Errorf("Results = %d, want 8", len(rep.Results))
+	}
+}
+
+func TestResultStreamCollectsPayloads(t *testing.T) {
+	// Jobs on a stream with no consumer are terminal results.
+	wf := engine.NewWorkflow("emit")
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "emit",
+		Input: "in",
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			return []*engine.Job{{Stream: "out", Payload: "v:" + job.ID}}, nil, nil
+		},
+	})
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(1, 10, 10, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  wf,
+		Arrivals:  []engine.Arrival{{Job: &engine.Job{ID: "x", Stream: "in"}}},
+	})
+	if len(rep.Results) != 1 || rep.Results[0].(string) != "v:x" {
+		t.Errorf("Results = %v", rep.Results)
+	}
+}
+
+func TestSpacedArrivalsRespectSchedule(t *testing.T) {
+	// Two instant jobs 30s apart: makespan must be just over 30s.
+	arr := []engine.Arrival{
+		{At: 0, Job: &engine.Job{Stream: "work", DataKey: "a", DataSizeMB: 1}},
+		{At: 30 * time.Second, Job: &engine.Job{Stream: "work", DataKey: "b", DataSizeMB: 1}},
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(2, 100, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  arr,
+	})
+	if rep.Makespan < 30*time.Second || rep.Makespan > 31*time.Second {
+		t.Errorf("Makespan = %v, want 30s + job time", rep.Makespan)
+	}
+}
+
+func TestTaskErrorCountsAsFailed(t *testing.T) {
+	wf := engine.NewWorkflow("failing")
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "boom",
+		Input: "work",
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			return nil, nil, errors.New("synthetic failure")
+		},
+	})
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(1, 10, 10, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  wf,
+		Arrivals:  []engine.Arrival{{Job: &engine.Job{Stream: "work"}}},
+	})
+	if rep.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", rep.JobsFailed)
+	}
+}
+
+func TestWorkerDeathRedispatchesJobs(t *testing.T) {
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(2, 10, 100, 0), // 10s transfer + 0.5s process per job
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 100),
+		Kills:     []engine.Kill{{Worker: "w0", At: 15 * time.Second}},
+	})
+	if rep.JobsCompleted != 8 {
+		t.Fatalf("JobsCompleted = %d, want all 8 despite the crash", rep.JobsCompleted)
+	}
+	if rep.Redispatched == 0 {
+		t.Error("no jobs were redispatched after the worker died")
+	}
+	if rep.Workers[1].JobsDone < 7 {
+		t.Errorf("survivor did %d jobs, want at least 7", rep.Workers[1].JobsDone)
+	}
+}
+
+func TestWorkerDeathUnderBaseline(t *testing.T) {
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(3, 10, 100, 0),
+		Allocator: core.NewBaseline(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBaselineAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 100),
+		Kills:     []engine.Kill{{Worker: "w1", At: 12 * time.Second}},
+	})
+	if rep.JobsCompleted != 6 {
+		t.Fatalf("JobsCompleted = %d, want all 6 despite the crash", rep.JobsCompleted)
+	}
+}
+
+func TestHeterogeneousClusterBiddingFavorsFastWorker(t *testing.T) {
+	fast := engine.NewWorkerState(engine.WorkerSpec{
+		Name: "fast", Net: netsim.Speed{BaseMBps: 100}, RW: netsim.Speed{BaseMBps: 200}, Seed: 1,
+	}, nil)
+	slow := engine.NewWorkerState(engine.WorkerSpec{
+		Name: "slow", Net: netsim.Speed{BaseMBps: 5}, RW: netsim.Speed{BaseMBps: 20}, Seed: 2,
+	}, nil)
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   []*engine.WorkerState{fast, slow},
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 100),
+	})
+	var byName = map[string]int{}
+	for _, w := range rep.Workers {
+		byName[w.Name] = w.JobsDone
+	}
+	if byName["fast"] <= byName["slow"] {
+		t.Errorf("fast worker did %d jobs vs slow's %d; bidding should favor it",
+			byName["fast"], byName["slow"])
+	}
+}
+
+func TestBiddingBeatsSparkOnHeterogeneousLargeRepos(t *testing.T) {
+	// The Figure 2 shape: centralized equal-share allocation is hurt by
+	// a slow worker processing large repositories.
+	build := func() []*engine.WorkerState {
+		specs := []struct {
+			name    string
+			net, rw float64
+		}{
+			{"fast", 100, 200}, {"avg1", 20, 50}, {"avg2", 20, 50}, {"slow", 2, 10},
+		}
+		out := make([]*engine.WorkerState, 0, len(specs))
+		for i, s := range specs {
+			out = append(out, engine.NewWorkerState(engine.WorkerSpec{
+				Name: s.name,
+				Net:  netsim.Speed{BaseMBps: s.net},
+				RW:   netsim.Speed{BaseMBps: s.rw},
+				Seed: int64(i + 1),
+			}, nil))
+		}
+		return out
+	}
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("r%d", i)
+	}
+	spark := runOrFail(t, engine.Config{
+		Workers:   build(),
+		Allocator: core.NewSparkLike(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewPassiveAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 600),
+	})
+	bidding := runOrFail(t, engine.Config{
+		Workers:   build(),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 600),
+	})
+	if bidding.Makespan >= spark.Makespan {
+		t.Errorf("bidding (%v) not faster than spark-like (%v) on heterogeneous cluster",
+			bidding.Makespan, spark.Makespan)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	wf := dataWorkflow()
+	agent := func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() }
+	cases := []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"no workers", engine.Config{Allocator: core.NewBidding(), NewAgent: agent, Workflow: wf}},
+		{"no allocator", engine.Config{Workers: testCluster(1, 1, 1, 0), NewAgent: agent, Workflow: wf}},
+		{"no agent", engine.Config{Workers: testCluster(1, 1, 1, 0), Allocator: core.NewBidding(), Workflow: wf}},
+		{"no workflow", engine.Config{Workers: testCluster(1, 1, 1, 0), Allocator: core.NewBidding(), NewAgent: agent}},
+		{"nil worker", engine.Config{Workers: []*engine.WorkerState{nil}, Allocator: core.NewBidding(), NewAgent: agent, Workflow: wf}},
+		{"unknown kill target", engine.Config{Workers: testCluster(1, 1, 1, 0), Allocator: core.NewBidding(),
+			NewAgent: agent, Workflow: wf, Kills: []engine.Kill{{Worker: "ghost"}}}},
+	}
+	for _, tc := range cases {
+		if _, err := engine.Run(tc.cfg); err == nil {
+			t.Errorf("%s: Run succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	wf := engine.NewWorkflow("w")
+	if err := wf.AddTask(engine.TaskSpec{Name: "a", Input: "s"}); err != nil {
+		t.Fatalf("AddTask: %v", err)
+	}
+	if err := wf.AddTask(engine.TaskSpec{Name: "b", Input: "s"}); err == nil {
+		t.Error("duplicate stream consumer accepted")
+	}
+	if err := wf.AddTask(engine.TaskSpec{Name: "c"}); err == nil {
+		t.Error("empty input stream accepted")
+	}
+	if len(wf.Tasks()) != 1 || wf.Tasks()[0].Name != "a" {
+		t.Errorf("Tasks = %v", wf.Tasks())
+	}
+	if _, ok := wf.TaskFor("s"); !ok {
+		t.Error("TaskFor lost the task")
+	}
+	if wf.Name() != "w" {
+		t.Errorf("Name = %q", wf.Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddTask did not panic on duplicate")
+		}
+	}()
+	wf.MustAddTask(engine.TaskSpec{Name: "dup", Input: "s"})
+}
+
+func TestJobStatusStrings(t *testing.T) {
+	want := map[engine.JobStatus]string{
+		engine.StatusPending:  "pending",
+		engine.StatusOffered:  "offered",
+		engine.StatusQueued:   "queued",
+		engine.StatusStarted:  "started",
+		engine.StatusFinished: "finished",
+		engine.JobStatus(42):  "JobStatus(42)",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("String(%d) = %q, want %q", int(s), s.String(), str)
+		}
+	}
+}
+
+func TestRealClockSmallRun(t *testing.T) {
+	// The same engine on a scaled wall clock: 1000x compression turns a
+	// ~21s simulated run into ~21ms.
+	rep := runOrFail(t, engine.Config{
+		Clock:     vclock.NewScaledReal(1000),
+		Workers:   testCluster(2, 10, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"a", "b"}, 100),
+	})
+	if rep.JobsCompleted != 2 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	if rep.Makespan < 5*time.Second {
+		t.Errorf("Makespan = %v, implausibly fast even for wall clock", rep.Makespan)
+	}
+}
+
+func TestTraceLogRecordsLifecycle(t *testing.T) {
+	trace := engine.NewTraceLog()
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(2, 20, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"a", "b", "c"}, 50),
+		Tracer:    trace,
+	})
+	if rep.JobsCompleted != 3 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("trace is empty")
+	}
+	hist := trace.JobHistory("j00")
+	if len(hist) < 4 {
+		t.Fatalf("job history = %v", hist)
+	}
+	wantOrder := []engine.TraceEventKind{
+		engine.TraceInjected, engine.TraceContest, engine.TraceAssigned, engine.TraceFinished,
+	}
+	for i, want := range wantOrder {
+		if hist[i].Kind != want {
+			t.Errorf("event %d = %s, want %s", i, hist[i].Kind, want)
+		}
+	}
+	var b strings.Builder
+	trace.Dump(&b)
+	if !strings.Contains(b.String(), "j00") || !strings.Contains(b.String(), "finished") {
+		t.Error("Dump output incomplete")
+	}
+	trace.Reset()
+	if trace.Len() != 0 {
+		t.Error("Reset left events")
+	}
+}
+
+func TestTraceBaselineRecordsOffersAndRejections(t *testing.T) {
+	trace := engine.NewTraceLog()
+	runOrFail(t, engine.Config{
+		Workers:   testCluster(2, 20, 100, 0),
+		Allocator: core.NewBaseline(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBaselineAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"a", "b"}, 50),
+		Tracer:    trace,
+	})
+	kinds := map[engine.TraceEventKind]int{}
+	for _, ev := range trace.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[engine.TraceOffered] == 0 || kinds[engine.TraceRejected] == 0 {
+		t.Errorf("baseline trace kinds = %v, want offers and rejections", kinds)
+	}
+}
+
+func TestBiddingFastCompletesWithLocality(t *testing.T) {
+	workers := testCluster(3, 10, 100, 0)
+	workers[1].Cache.Put("hot", 100)
+	rep := runOrFail(t, engine.Config{
+		Workers:   workers,
+		Allocator: &core.BiddingAllocator{FastLocalClose: true},
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"hot", "hot", "hot", "a"}, 100),
+	})
+	if rep.JobsCompleted != 4 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	if rep.Allocator != "bidding-fast" {
+		t.Errorf("Allocator = %q", rep.Allocator)
+	}
+	if rep.CacheMisses != 1 { // only "a" needs a clone
+		t.Errorf("CacheMisses = %d, want 1", rep.CacheMisses)
+	}
+	if rep.Workers[1].JobsDone < 3 {
+		t.Errorf("holder did %d jobs, want the 3 hot ones", rep.Workers[1].JobsDone)
+	}
+}
+
+func TestDelaySchedulerEndToEnd(t *testing.T) {
+	workers := testCluster(3, 20, 100, 0)
+	keys := []string{"a", "b", "c", "a", "b", "c", "a", "b"}
+	rep := runOrFail(t, engine.Config{
+		Workers:   workers,
+		Allocator: core.NewDelay(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewMatchmakingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs(keys, 100),
+	})
+	if rep.JobsCompleted != 8 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	// Three distinct repos; delay scheduling should route repeats to
+	// their holders after the cold start.
+	if rep.CacheMisses > 5 {
+		t.Errorf("CacheMisses = %d, delay scheduling found no locality", rep.CacheMisses)
+	}
+}
+
+func TestMatchmakingHeartbeatRetries(t *testing.T) {
+	// One worker, jobs arriving after an idle period: the worker's first
+	// pulls come back empty and it must keep polling on its heartbeat.
+	arr := []engine.Arrival{
+		{At: 3 * time.Second, Job: &engine.Job{Stream: "work", DataKey: "a", DataSizeMB: 10}},
+	}
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(1, 10, 100, 0),
+		Allocator: core.NewMatchmaking(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewMatchmakingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  arr,
+	})
+	if rep.JobsCompleted != 1 {
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	// The job arrives at 3s; the worker pulls every 500ms, so it is
+	// picked up within one heartbeat of arriving. 10MB at 10MB/s + 0.1s
+	// processing ≈ 1.1s of execution.
+	if rep.Makespan > 6*time.Second {
+		t.Errorf("Makespan = %v, heartbeat polling too slow", rep.Makespan)
+	}
+}
+
+func TestEmitStreamsJobsWhileTaskRuns(t *testing.T) {
+	wf := engine.NewWorkflow("emitter")
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "source",
+		Input: "seed",
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			for i := 0; i < 5; i++ {
+				ctx.Clock().Sleep(10 * time.Second)
+				ctx.Emit(&engine.Job{
+					Stream:     "work",
+					DataKey:    fmt.Sprintf("s%d", i),
+					DataSizeMB: 10,
+				})
+			}
+			return nil, nil, nil
+		},
+	})
+	wf.MustAddTask(engine.TaskSpec{Name: "sink", Input: "work"})
+	trace := engine.NewTraceLog()
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(2, 100, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  wf,
+		Arrivals:  []engine.Arrival{{Job: &engine.Job{ID: "seed", Stream: "seed"}}},
+		Tracer:    trace,
+	})
+	if rep.JobsCompleted != 6 { // the source + 5 emitted jobs
+		t.Fatalf("JobsCompleted = %d", rep.JobsCompleted)
+	}
+	// Emitted jobs must be injected while the source is still running:
+	// the first emission lands at ~10s, the source finishes at ~50s.
+	var firstEmit, sourceDone time.Time
+	for _, ev := range trace.Events() {
+		if ev.Kind == engine.TraceInjected && ev.JobID != "seed" && firstEmit.IsZero() {
+			firstEmit = ev.At
+		}
+		if ev.Kind == engine.TraceFinished && ev.JobID == "seed" {
+			sourceDone = ev.At
+		}
+	}
+	if firstEmit.IsZero() || sourceDone.IsZero() {
+		t.Fatal("trace missing emit/finish events")
+	}
+	if !firstEmit.Before(sourceDone) {
+		t.Errorf("first emission at %v, source finished at %v — not streamed", firstEmit, sourceDone)
+	}
+}
+
+func TestUtilizationReported(t *testing.T) {
+	rep := runOrFail(t, engine.Config{
+		Workers:   testCluster(1, 10, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Workflow:  dataWorkflow(),
+		Arrivals:  dataJobs([]string{"r1"}, 100),
+	})
+	w := rep.Workers[0]
+	if w.BusyTime != 11*time.Second {
+		t.Errorf("BusyTime = %v, want 11s", w.BusyTime)
+	}
+	if w.Utilization < 0.99 || w.Utilization > 1.01 {
+		t.Errorf("Utilization = %v, want ~1.0 for a single-worker run", w.Utilization)
+	}
+}

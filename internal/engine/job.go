@@ -1,0 +1,116 @@
+// Package engine implements the Crossflow-like distributed
+// stream-processing substrate the paper builds on: typed jobs flowing
+// through named streams between tasks, a master that mediates
+// allocation, and worker nodes that execute tasks over locally cached
+// data. Allocation policy is pluggable — the master delegates to an
+// Allocator and each worker to an Agent, so the paper's Bidding
+// scheduler, the Baseline opinionated scheduler, and the centralized
+// comparators are all strategies over one engine.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobStatus tracks a job through its lifecycle, mirroring the status
+// fields of the paper's Listings 1 and 2.
+type JobStatus int
+
+const (
+	// StatusPending means the job awaits allocation (bidding open, or in
+	// the pull queue).
+	StatusPending JobStatus = iota
+	// StatusOffered means the job is held by a worker deciding whether
+	// to accept it (Baseline pull model).
+	StatusOffered
+	// StatusQueued means the job has been allocated and sits in a
+	// worker's FIFO queue.
+	StatusQueued
+	// StatusStarted means a worker is executing the job.
+	StatusStarted
+	// StatusFinished means the job completed.
+	StatusFinished
+)
+
+// String returns the lower-case status name.
+func (s JobStatus) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusOffered:
+		return "offered"
+	case StatusQueued:
+		return "queued"
+	case StatusStarted:
+		return "started"
+	case StatusFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("JobStatus(%d)", int(s))
+	}
+}
+
+// Job is one unit of work: "a piece of data required to process a task".
+// The Stream field names the channel it travels on and thereby the task
+// that consumes it.
+type Job struct {
+	// ID uniquely identifies the job. The master assigns sequential IDs
+	// to jobs injected without one.
+	ID string
+	// Stream is the channel the job belongs to; the task whose input is
+	// this stream consumes the job. A job on a stream without a consumer
+	// is collected as a workflow result.
+	Stream string
+	// Payload carries application data (e.g. the library/repository
+	// pair in the MSR pipeline).
+	Payload any
+	// DataKey names the data resource the job needs locally (e.g. a
+	// repository clone). Empty means the job needs no bulk data.
+	DataKey string
+	// DataSizeMB is the size of that resource.
+	DataSizeMB float64
+	// ComputeMB is the amount of data the job must read/process. Zero
+	// means "same as DataSizeMB".
+	ComputeMB float64
+	// CostHint, when positive, overrides the processing-time component
+	// of worker estimates for this job. The paper leaves cost formulas
+	// to the application developer (§5); data-bound jobs derive costs
+	// from sizes and speeds, while jobs whose duration is not
+	// data-bound (e.g. a searcher streaming API results) declare it
+	// here so bids stay honest.
+	CostHint time.Duration
+}
+
+// computeMB returns the effective processing volume.
+func (j *Job) computeMB() float64 {
+	if j.ComputeMB > 0 {
+		return j.ComputeMB
+	}
+	return j.DataSizeMB
+}
+
+// Clone returns a shallow copy of the job.
+func (j *Job) Clone() *Job {
+	c := *j
+	return &c
+}
+
+// JobRecord is the master's book-keeping for one job, the analogue of
+// the paper's JobStatus map with its timestamps.
+type JobRecord struct {
+	Job      *Job
+	Status   JobStatus
+	Worker   string // the worker the job was allocated to
+	Injected time.Time
+	Queued   time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Arrival schedules one job's injection into the workflow, At after the
+// workflow starts. Jobs with equal offsets arrive in slice order.
+type Arrival struct {
+	At  time.Duration
+	Job *Job
+}

@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/vclock"
+)
+
+// Master is the coordinating node: it injects arrivals, mediates
+// allocation through its Allocator, tracks every job's status and
+// timestamps (the paper's master record), and detects workflow
+// completion. It runs as a single actor goroutine over its broker inbox.
+type Master struct {
+	clk             vclock.Clock
+	ep              Port
+	alloc           Allocator
+	wf              *Workflow
+	arrivals        []Arrival
+	expectedWorkers int
+	rng             *rand.Rand
+	tracer          Tracer
+
+	records      map[string]*JobRecord
+	order        []string
+	workers      []string
+	workerSet    map[string]bool
+	outstanding  int
+	arrivalsLeft int
+	started      bool
+	startTime    time.Time
+	endTime      time.Time
+	results      []any
+	nextID       int
+
+	completed    int
+	offers       int
+	rejections   int
+	contests     int
+	bids         int
+	fallbacks    int
+	failures     int
+	redispatched int
+	allocLatency time.Duration
+	allocCount   int
+}
+
+// newMaster wires a master; the cluster runner starts it with Go.
+func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
+	arrivals []Arrival, expectedWorkers int, seed int64) *Master {
+	return &Master{
+		clk:             clk,
+		ep:              ep,
+		alloc:           alloc,
+		wf:              wf,
+		arrivals:        arrivals,
+		expectedWorkers: expectedWorkers,
+		rng:             rand.New(rand.NewSource(seed)),
+		records:         make(map[string]*JobRecord),
+		workerSet:       make(map[string]bool),
+		arrivalsLeft:    len(arrivals),
+	}
+}
+
+// NewMaster wires a master over an arbitrary Port — the entry point for
+// distributed deployments where the broker lives in another process. For
+// single-process runs prefer Run, which assembles everything.
+func NewMaster(clk vclock.Clock, port Port, alloc Allocator, wf *Workflow,
+	arrivals []Arrival, expectedWorkers int, seed int64) *Master {
+	return newMaster(clk, port, alloc, wf, arrivals, expectedWorkers, seed)
+}
+
+// Run executes the master actor loop until the workflow completes; it
+// must run on a clock-tracked goroutine (clk.Go).
+func (m *Master) Run() { m.run() }
+
+// Report builds the master's half of a run report (timings, statuses,
+// scheduling counters). Worker-side cache and data-load counters are
+// zero; distributed deployments collect those on the worker processes.
+func (m *Master) Report() *Report {
+	rep := &Report{
+		Allocator:     m.alloc.Name(),
+		Start:         m.startTime,
+		End:           m.endTime,
+		Makespan:      m.endTime.Sub(m.startTime),
+		JobsCompleted: m.completed,
+		JobsFailed:    m.failures,
+		Redispatched:  m.redispatched,
+		Results:       m.results,
+		Offers:        m.offers,
+		Rejections:    m.rejections,
+		Contests:      m.contests,
+		Bids:          m.bids,
+		Fallbacks:     m.fallbacks,
+		Records:       m.records,
+	}
+	if m.allocCount > 0 {
+		rep.MeanAllocLatency = m.allocLatency / time.Duration(m.allocCount)
+	}
+	return rep
+}
+
+// Inject delivers a payload into the master's actor loop from outside
+// (fault-injection hooks, tests). Safe to call from any goroutine.
+func (m *Master) Inject(payload any) {
+	m.ep.Inbox().Send(broker.Envelope{From: m.ep.Name(), To: m.ep.Name(), Payload: payload})
+}
+
+// run is the master actor loop. It returns when the workflow completes.
+func (m *Master) run() {
+	for {
+		v, ok := m.ep.Inbox().Recv()
+		if !ok {
+			return
+		}
+		env, ok := v.(broker.Envelope)
+		if !ok {
+			continue
+		}
+		if done := m.handle(env); done {
+			return
+		}
+	}
+}
+
+func (m *Master) handle(env broker.Envelope) (done bool) {
+	switch msg := env.Payload.(type) {
+	case MsgRegister:
+		m.onRegister(msg.Worker)
+	case MsgInject:
+		m.arrivalsLeft--
+		m.inject(msg.Job)
+	case MsgBid:
+		m.bids++
+		m.alloc.BidReceived(m, msg)
+	case MsgBidWindowExpired:
+		m.alloc.BidWindowExpired(m, msg.JobID)
+	case MsgAccept:
+		m.onAccept(msg)
+	case MsgReject:
+		m.onReject(msg)
+	case MsgRequestJob:
+		if m.workerSet[msg.Worker] {
+			m.alloc.WorkerIdle(m, msg)
+		}
+	case MsgEmit:
+		if msg.Job != nil {
+			m.inject(msg.Job)
+		}
+	case MsgJobDone:
+		m.onJobDone(msg)
+	case MsgTick:
+		m.alloc.Tick(m, msg.Token)
+	case MsgWorkerDead:
+		m.onWorkerDead(msg.Worker)
+	}
+	return m.maybeFinish()
+}
+
+func (m *Master) onRegister(worker string) {
+	m.ep.Send(worker, MsgRegisterAck{})
+	if m.workerSet[worker] {
+		return
+	}
+	m.workerSet[worker] = true
+	m.workers = append(m.workers, worker)
+	if m.started || len(m.workers) < m.expectedWorkers {
+		return
+	}
+	// All workers present: the workflow starts now.
+	m.started = true
+	m.startTime = m.clk.Now()
+	for _, arr := range m.arrivals {
+		arr := arr
+		m.clk.AfterFunc(arr.At, func() { m.Inject(MsgInject{Job: arr.Job}) })
+	}
+}
+
+// inject registers a job and hands it to the allocator (or collects it
+// as a result if no task consumes its stream).
+func (m *Master) inject(job *Job) {
+	if job.ID == "" {
+		job.ID = fmt.Sprintf("job-%04d", m.nextID)
+	}
+	m.nextID++
+	rec := &JobRecord{Job: job, Status: StatusPending, Injected: m.clk.Now()}
+	if _, dup := m.records[job.ID]; dup {
+		rec.Job.ID = fmt.Sprintf("%s#%d", job.ID, m.nextID)
+	}
+	m.records[rec.Job.ID] = rec
+	m.order = append(m.order, rec.Job.ID)
+	m.trace(TraceInjected, rec.Job.ID, "")
+	if _, consumed := m.wf.TaskFor(job.Stream); !consumed {
+		rec.Status = StatusFinished
+		rec.Finished = m.clk.Now()
+		if job.Payload != nil {
+			m.results = append(m.results, job.Payload)
+		}
+		return
+	}
+	m.outstanding++
+	m.alloc.JobReady(m, job)
+}
+
+func (m *Master) onAccept(msg MsgAccept) {
+	rec := m.records[msg.JobID]
+	if rec == nil || rec.Status != StatusOffered || rec.Worker != msg.Worker {
+		return
+	}
+	rec.Status = StatusQueued
+	rec.Queued = m.clk.Now()
+	rec.Started = rec.Queued // Listing 1 line 25: stamped at allocation
+	m.allocLatency += rec.Queued.Sub(rec.Injected)
+	m.allocCount++
+	m.trace(TraceAssigned, msg.JobID, msg.Worker)
+}
+
+func (m *Master) onReject(msg MsgReject) {
+	m.rejections++
+	rec := m.records[msg.JobID]
+	if rec == nil || rec.Status != StatusOffered || rec.Worker != msg.Worker {
+		return
+	}
+	rec.Status = StatusPending
+	rec.Worker = ""
+	m.trace(TraceRejected, msg.JobID, msg.Worker)
+	m.alloc.OfferRejected(m, msg.JobID, msg.Worker)
+}
+
+func (m *Master) onJobDone(msg MsgJobDone) {
+	rec := m.records[msg.JobID]
+	if rec == nil || rec.Status == StatusFinished || rec.Worker != msg.Worker {
+		return // stale completion from a lost worker
+	}
+	rec.Status = StatusFinished
+	rec.Finished = m.clk.Now()
+	m.outstanding--
+	m.completed++
+	if msg.Failed {
+		m.failures++
+		m.trace(TraceFailed, msg.JobID, msg.Worker)
+	} else {
+		m.trace(TraceFinished, msg.JobID, msg.Worker)
+	}
+	m.results = append(m.results, msg.Results...)
+	for _, nj := range msg.NewJobs {
+		m.inject(nj)
+	}
+	m.alloc.JobFinished(m, msg.JobID, msg.Worker)
+}
+
+func (m *Master) onWorkerDead(worker string) {
+	if !m.workerSet[worker] {
+		return
+	}
+	delete(m.workerSet, worker)
+	for i, w := range m.workers {
+		if w == worker {
+			m.workers = append(m.workers[:i], m.workers[i+1:]...)
+			break
+		}
+	}
+	var inflight []*Job
+	for _, id := range m.order {
+		rec := m.records[id]
+		if rec.Worker == worker && rec.Status != StatusFinished && rec.Status != StatusPending {
+			rec.Status = StatusPending
+			rec.Worker = ""
+			inflight = append(inflight, rec.Job)
+		}
+	}
+	m.redispatched += len(inflight)
+	for _, job := range inflight {
+		m.trace(TraceRedispatch, job.ID, worker)
+	}
+	m.alloc.WorkerLost(m, worker, inflight)
+	for _, job := range inflight {
+		m.alloc.JobReady(m, job)
+	}
+}
+
+func (m *Master) maybeFinish() bool {
+	if !m.started || m.arrivalsLeft > 0 || m.outstanding > 0 {
+		return false
+	}
+	m.endTime = m.clk.Now()
+	m.ep.Publish(TopicControl, MsgStop{})
+	return true
+}
+
+// --- AllocCtx implementation -------------------------------------------
+
+// Clock implements AllocCtx.
+func (m *Master) Clock() vclock.Clock { return m.clk }
+
+// Workers implements AllocCtx.
+func (m *Master) Workers() []string { return m.workers }
+
+// Job implements AllocCtx.
+func (m *Master) Job(id string) *Job {
+	if rec, ok := m.records[id]; ok {
+		return rec.Job
+	}
+	return nil
+}
+
+// Assign implements AllocCtx: unconditional allocation to a worker.
+func (m *Master) Assign(jobID, worker string, est time.Duration) {
+	rec := m.records[jobID]
+	if rec == nil || rec.Status == StatusFinished || rec.Status == StatusQueued {
+		return
+	}
+	rec.Status = StatusQueued
+	rec.Worker = worker
+	rec.Queued = m.clk.Now()
+	rec.Started = rec.Queued
+	m.allocLatency += rec.Queued.Sub(rec.Injected)
+	m.allocCount++
+	m.trace(TraceAssigned, jobID, worker)
+	m.ep.Send(worker, MsgAssign{Job: rec.Job, EstimatedCost: est})
+}
+
+// Offer implements AllocCtx: propose a job, worker may decline.
+func (m *Master) Offer(jobID, worker string) {
+	rec := m.records[jobID]
+	if rec == nil || rec.Status == StatusFinished {
+		return
+	}
+	rec.Status = StatusOffered
+	rec.Worker = worker
+	m.offers++
+	m.trace(TraceOffered, jobID, worker)
+	m.ep.Send(worker, MsgOffer{Job: rec.Job})
+}
+
+// SendNoWork implements AllocCtx.
+func (m *Master) SendNoWork(worker string, backoff time.Duration) {
+	m.ep.Send(worker, MsgNoWork{Backoff: backoff})
+}
+
+// PublishBidRequest implements AllocCtx.
+func (m *Master) PublishBidRequest(jobID string) int {
+	rec := m.records[jobID]
+	if rec == nil {
+		return 0
+	}
+	m.contests++
+	m.trace(TraceContest, jobID, "")
+	return m.ep.Publish(TopicBids, MsgBidRequest{Job: rec.Job})
+}
+
+// ScheduleBidWindow implements AllocCtx.
+func (m *Master) ScheduleBidWindow(jobID string, d time.Duration) {
+	m.clk.AfterFunc(d, func() { m.Inject(MsgBidWindowExpired{JobID: jobID}) })
+}
+
+// ScheduleTick implements AllocCtx.
+func (m *Master) ScheduleTick(token string, d time.Duration) {
+	m.clk.AfterFunc(d, func() { m.Inject(MsgTick{Token: token}) })
+}
+
+// Rand implements AllocCtx.
+func (m *Master) Rand() *rand.Rand { return m.rng }
+
+// CountFallback lets allocators record an arbitrary (no-bid) assignment.
+func (m *Master) CountFallback() { m.fallbacks++ }

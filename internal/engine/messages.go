@@ -1,0 +1,147 @@
+package engine
+
+import "time"
+
+// Topic names used on the broker.
+const (
+	// TopicBids is the broadcast topic the master publishes bid requests
+	// on; every worker subscribes.
+	TopicBids = "xflow/bids"
+	// TopicControl carries workflow-wide control messages (stop).
+	TopicControl = "xflow/control"
+)
+
+// MasterName is the broker endpoint name of the master node.
+const MasterName = "master"
+
+// The message types below form the wire protocol between master and
+// workers. They are plain exported structs so the TCP transport can gob-
+// encode them unchanged.
+
+// MsgRegister announces a worker to the master. Workers re-send it on
+// their heartbeat until the master acknowledges, so process start-up
+// order does not matter in distributed deployments.
+type MsgRegister struct {
+	Worker string
+}
+
+// MsgRegisterAck confirms a registration; the worker's policy agent
+// starts only after it arrives.
+type MsgRegisterAck struct{}
+
+// MsgBidRequest opens a bidding contest for a job (Listing 1, line 3:
+// publishForBidding). Broadcast on TopicBids.
+type MsgBidRequest struct {
+	Job *Job
+}
+
+// MsgBid is a worker's submission in a contest (Listing 2, line 6).
+type MsgBid struct {
+	JobID  string
+	Worker string
+	// Estimate is the full bid: current unfinished workload plus the
+	// job's own transfer and processing cost.
+	Estimate time.Duration
+	// JobCost is the job-only component of the estimate. The master
+	// passes the winner's JobCost back in MsgAssign.EstimatedCost so the
+	// worker's unfinished-work total never double-counts its queue.
+	JobCost time.Duration
+	// Local reports that the bidder already holds (or has committed to
+	// fetch) the job's data. Fast-path masters may close a contest early
+	// on a local bid — the paper's future-work item on minimizing the
+	// bidding overhead for highly local jobs.
+	Local bool
+}
+
+// MsgAssign hands a job to a worker's queue (Listing 1, line 26:
+// worker.consumeJob).
+type MsgAssign struct {
+	Job *Job
+	// EstimatedCost lets the master communicate the winning estimate so
+	// the worker can maintain its unfinished-work total; zero when the
+	// allocator has no estimate (centralized policies).
+	EstimatedCost time.Duration
+}
+
+// MsgOffer proposes a job to a worker, which may accept or reject it
+// (the Baseline opinionated pull model, §4).
+type MsgOffer struct {
+	Job *Job
+}
+
+// MsgAccept is the worker's positive answer to an offer.
+type MsgAccept struct {
+	JobID  string
+	Worker string
+}
+
+// MsgReject returns an offered job to the master "so another worker can
+// consider it".
+type MsgReject struct {
+	JobID  string
+	Worker string
+}
+
+// MsgRequestJob is a worker pulling for work when idle. CachedKeys and
+// Strikes support locality-aware pull policies (Matchmaking): keys list
+// the worker's cached data, strikes how many consecutive empty
+// heartbeats it has waited.
+type MsgRequestJob struct {
+	Worker     string
+	CachedKeys []string
+	Strikes    int
+}
+
+// MsgNoWork tells a pulling worker the master has nothing suitable; the
+// worker retries after its heartbeat interval.
+type MsgNoWork struct {
+	// Backoff suggests how long to wait before the next pull; zero means
+	// the worker's default heartbeat.
+	Backoff time.Duration
+}
+
+// MsgJobDone reports a completed job together with the jobs the task
+// produced downstream (Listing 2, line 14: master.sendJob(newJob)).
+type MsgJobDone struct {
+	JobID   string
+	Worker  string
+	NewJobs []*Job
+	Results []any
+	// Failed marks a job whose task function returned an error.
+	Failed bool
+	Error  string
+}
+
+// MsgEmit carries a downstream job produced by a task that is still
+// running — stream-processing tasks emit results as they find them
+// rather than batching them into the final MsgJobDone.
+type MsgEmit struct {
+	Job    *Job
+	Worker string
+}
+
+// MsgInject is the master's self-message carrying a scheduled arrival.
+type MsgInject struct {
+	Job *Job
+}
+
+// MsgBidWindowExpired is the master's self-message closing a contest
+// after the bidding threshold (Listing 1, line 30).
+type MsgBidWindowExpired struct {
+	JobID string
+}
+
+// MsgTick is a generic timer self-message for allocators that need
+// periodic work.
+type MsgTick struct {
+	Token string
+}
+
+// MsgStop shuts a worker down after the workflow completes.
+type MsgStop struct{}
+
+// MsgWorkerDead is the master's self-message injected by fault-injection
+// hooks when a worker is declared lost.
+type MsgWorkerDead struct {
+	Worker string
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/gitsim"
+	"crossflow/internal/vclock"
+)
+
+// Kill schedules a worker crash for fault-injection experiments: At
+// after the workflow starts the worker drops off the broker and the
+// master is told, re-dispatching its unfinished jobs.
+type Kill struct {
+	Worker string
+	At     time.Duration
+}
+
+// Config describes one workflow run.
+type Config struct {
+	// Clock is the time source; nil defaults to a fresh simulated clock.
+	Clock vclock.Clock
+	// Workers is the cluster. WorkerStates persist across runs, so the
+	// harness can execute warm-cache iterations.
+	Workers []*WorkerState
+	// Allocator is the master-side policy.
+	Allocator Allocator
+	// NewAgent builds the matching worker-side policy per node.
+	NewAgent func(st *WorkerState) Agent
+	// Workflow is the task graph.
+	Workflow *Workflow
+	// Arrivals is the input job stream.
+	Arrivals []Arrival
+	// Hub optionally provides the synthetic GitHub to task bodies.
+	Hub *gitsim.Hub
+	// MasterLink is the master's one-way broker latency.
+	MasterLink time.Duration
+	// Seed seeds the master's random source.
+	Seed int64
+	// Kills schedules worker crashes (fault-injection experiments).
+	Kills []Kill
+	// Tracer, when non-nil, receives every allocation event.
+	Tracer Tracer
+}
+
+// Run executes one workflow to completion and returns its report.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("engine: no workers configured")
+	}
+	if cfg.Allocator == nil {
+		return nil, errors.New("engine: no allocator configured")
+	}
+	if cfg.NewAgent == nil {
+		return nil, errors.New("engine: no agent factory configured")
+	}
+	if cfg.Workflow == nil {
+		return nil, errors.New("engine: no workflow configured")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = vclock.NewSim()
+	}
+
+	bus := broker.New(clk)
+	masterEp := bus.Register(MasterName, cfg.MasterLink)
+	master := newMaster(clk, masterEp, cfg.Allocator, cfg.Workflow,
+		cfg.Arrivals, len(cfg.Workers), cfg.Seed)
+	master.tracer = cfg.Tracer
+
+	workers := make([]*Worker, 0, len(cfg.Workers))
+	before := make([]workerSnapshot, 0, len(cfg.Workers))
+	byName := make(map[string]*Worker, len(cfg.Workers))
+	for _, st := range cfg.Workers {
+		if st == nil {
+			return nil, errors.New("engine: nil worker state")
+		}
+		ep := bus.Register(st.Spec.Name, st.Spec.Link)
+		w := newWorker(clk, ep, cfg.Workflow, st, cfg.Hub, cfg.NewAgent(st))
+		workers = append(workers, w)
+		byName[w.name] = w
+		before = append(before, snapshotWorker(st))
+	}
+
+	for _, k := range cfg.Kills {
+		w, ok := byName[k.Worker]
+		if !ok {
+			return nil, fmt.Errorf("engine: kill schedules unknown worker %q", k.Worker)
+		}
+		k := k
+		clk.AfterFunc(k.At, func() {
+			w.kill()
+			master.Inject(MsgWorkerDead{Worker: k.Worker})
+		})
+	}
+
+	// All start-up happens inside one tracked goroutine: the simulated
+	// clock counts it as runnable, so it can never observe a half-built
+	// system as idle and misdiagnose a deadlock while the (untracked)
+	// caller is still wiring nodes up.
+	clk.Go(func() {
+		clk.Go(master.run)
+		for _, w := range workers {
+			w.start()
+		}
+	})
+	clk.Wait()
+
+	if sim, ok := clk.(*vclock.Sim); ok && sim.Deadlocked() {
+		return nil, errors.New("engine: simulation deadlocked before workflow completion")
+	}
+
+	rep := master.Report()
+	for i, st := range cfg.Workers {
+		wr := diffWorker(st, before[i])
+		wr.JobsDone = workers[i].JobsDone()
+		wr.BusyTime = workers[i].BusyTime()
+		if rep.Makespan > 0 {
+			wr.Utilization = float64(wr.BusyTime) / float64(rep.Makespan)
+		}
+		rep.Workers = append(rep.Workers, wr)
+		rep.CacheHits += wr.CacheHits
+		rep.CacheMisses += wr.CacheMisses
+		rep.Evictions += wr.Evictions
+		rep.DataLoadMB += wr.DataLoadMB
+		rep.Downloads += wr.Downloads
+	}
+	return rep, nil
+}
+
+// workerSnapshot captures a worker's cumulative counters so Run can
+// report per-run deltas even when state persists across iterations.
+type workerSnapshot struct {
+	hits, misses, evictions int
+	dataMB                  float64
+	downloads               int
+}
+
+func snapshotWorker(st *WorkerState) workerSnapshot {
+	s := st.Cache.Stats()
+	return workerSnapshot{
+		hits:      s.Hits,
+		misses:    s.Misses,
+		evictions: s.Evictions,
+		dataMB:    st.Link.DownloadedMB(),
+		downloads: st.Link.Downloads(),
+	}
+}
+
+func diffWorker(st *WorkerState, base workerSnapshot) WorkerReport {
+	s := st.Cache.Stats()
+	return WorkerReport{
+		Name:        st.Spec.Name,
+		CacheHits:   s.Hits - base.hits,
+		CacheMisses: s.Misses - base.misses,
+		Evictions:   s.Evictions - base.evictions,
+		DataLoadMB:  st.Link.DownloadedMB() - base.dataMB,
+		Downloads:   st.Link.Downloads() - base.downloads,
+	}
+}
+
+// Report aggregates one run's outcome: the paper's three metrics (§6.1:
+// end-to-end execution time, data load, cache misses) plus scheduling
+// diagnostics.
+type Report struct {
+	// Allocator is the policy that produced this run.
+	Allocator string
+	// Start and End bound the workflow execution; Makespan = End-Start,
+	// the paper's end-to-end execution time.
+	Start    time.Time
+	End      time.Time
+	Makespan time.Duration
+	// JobsCompleted counts jobs executed by workers; JobsFailed those
+	// whose task returned an error.
+	JobsCompleted int
+	JobsFailed    int
+	// Redispatched counts jobs rescued from lost workers.
+	Redispatched int
+	// Results collects terminal-stream payloads and task results.
+	Results []any
+	// CacheHits/CacheMisses/Evictions aggregate worker cache outcomes —
+	// CacheMisses is the paper's cache-miss metric.
+	CacheHits   int
+	CacheMisses int
+	Evictions   int
+	// DataLoadMB is the total non-local data transferred — the paper's
+	// data-load metric. Downloads counts individual transfers.
+	DataLoadMB float64
+	Downloads  int
+	// Scheduling diagnostics.
+	Offers           int
+	Rejections       int
+	Contests         int
+	Bids             int
+	Fallbacks        int
+	MeanAllocLatency time.Duration
+	// Workers breaks the counters down per node.
+	Workers []WorkerReport
+	// Records exposes the master's per-job book-keeping.
+	Records map[string]*JobRecord
+}
+
+// WorkerReport is one node's share of a run.
+type WorkerReport struct {
+	Name        string
+	JobsDone    int
+	CacheHits   int
+	CacheMisses int
+	Evictions   int
+	DataLoadMB  float64
+	Downloads   int
+	// BusyTime is the clock time spent executing jobs; Utilization is
+	// BusyTime over the run's makespan. The paper's Figure 4 discussion
+	// is about exactly this: centralized allocation leaves slow nodes
+	// overloaded and fast ones idle.
+	BusyTime    time.Duration
+	Utilization float64
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEventKind classifies job-lifecycle events.
+type TraceEventKind string
+
+// Trace event kinds, in lifecycle order.
+const (
+	TraceInjected   TraceEventKind = "injected"
+	TraceContest    TraceEventKind = "contest"
+	TraceOffered    TraceEventKind = "offered"
+	TraceRejected   TraceEventKind = "rejected"
+	TraceAssigned   TraceEventKind = "assigned"
+	TraceFinished   TraceEventKind = "finished"
+	TraceFailed     TraceEventKind = "failed"
+	TraceRedispatch TraceEventKind = "redispatched"
+)
+
+// TraceEvent is one entry in a run's allocation trace.
+type TraceEvent struct {
+	At    time.Time
+	Kind  TraceEventKind
+	JobID string
+	// Node is the worker involved, empty for master-only events.
+	Node string
+}
+
+// Tracer receives allocation events as they happen on the master.
+// Implementations must be cheap; they run on the master's actor
+// goroutine.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// TraceLog is a Tracer that accumulates events in memory. It is safe
+// for concurrent use, so a single log can serve several sequential runs.
+type TraceLog struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTraceLog returns an empty trace log.
+func NewTraceLog() *TraceLog { return &TraceLog{} }
+
+// Trace implements Tracer.
+func (l *TraceLog) Trace(ev TraceEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+// Events returns a copy of the accumulated events.
+func (l *TraceLog) Events() []TraceEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TraceEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of accumulated events.
+func (l *TraceLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset clears the log.
+func (l *TraceLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+}
+
+// JobHistory returns the events of one job in time order.
+func (l *TraceLog) JobHistory(jobID string) []TraceEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []TraceEvent
+	for _, ev := range l.events {
+		if ev.JobID == jobID {
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Dump writes the trace as tab-separated lines, one event per line.
+func (l *TraceLog) Dump(w io.Writer) {
+	for _, ev := range l.Events() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n",
+			ev.At.Format("15:04:05.000"), ev.Kind, ev.JobID, ev.Node)
+	}
+}
+
+// trace emits an event if the master has a tracer attached.
+func (m *Master) trace(kind TraceEventKind, jobID, node string) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Trace(TraceEvent{At: m.clk.Now(), Kind: kind, JobID: jobID, Node: node})
+}

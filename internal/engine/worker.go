@@ -1,0 +1,460 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/gitsim"
+	"crossflow/internal/netsim"
+	"crossflow/internal/storage"
+	"crossflow/internal/vclock"
+)
+
+// Agent is the worker-side scheduling policy: the "opinion" of an
+// opinionated node. The worker's communications goroutine translates
+// protocol messages into these calls; implementations answer through the
+// worker's helper methods (SubmitBid, AcceptOffer, RejectOffer,
+// RequestWork). Calls happen on the worker's comms goroutine.
+type Agent interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Start is called once, after the worker registers with the master.
+	// Pull-based agents request their first job here.
+	Start(w *Worker)
+	// OnBidRequest is called when the master opens a contest.
+	OnBidRequest(w *Worker, job *Job)
+	// OnOffer is called when the master proposes a job for local
+	// evaluation against the worker's acceptance criteria.
+	OnOffer(w *Worker, job *Job)
+	// OnNoWork is called when a pull for work came back empty; backoff
+	// is the master's suggested wait (zero = agent's default).
+	OnNoWork(w *Worker, backoff time.Duration)
+	// OnJobFinished is called (still on the comms goroutine) after the
+	// executor completed a job, before its completion was acknowledged
+	// by the master. Pull-based agents request the next job here.
+	OnJobFinished(w *Worker, job *Job)
+}
+
+// Worker is one node: a communications actor plus a FIFO executor, a
+// local data cache, a network/disk link, and a cost model for estimates.
+type Worker struct {
+	name      string
+	clk       vclock.Clock
+	ep        Port
+	wf        *Workflow
+	cache     *storage.Cache
+	link      *netsim.Link
+	hub       *gitsim.Hub
+	costs     CostModel
+	agent     Agent
+	bidDelay  time.Duration
+	heartbeat time.Duration
+
+	execQ vclock.Mailbox // *Job, FIFO local queue
+
+	mu           sync.Mutex
+	queuedCosts  map[string]time.Duration
+	pendingData  map[string]int // data keys unfinished queued jobs will fetch
+	currentJob   string
+	currentEst   time.Duration
+	currentStart time.Time
+	jobsDone     int
+	busy         time.Duration
+	killed       bool
+	stopped      bool
+	registered   bool
+}
+
+// WorkerSpec configures one worker node.
+type WorkerSpec struct {
+	// Name is the broker endpoint name; must be unique in the cluster.
+	Name string
+	// Net and RW are the node's network and read/write speed channels.
+	Net netsim.Speed
+	RW  netsim.Speed
+	// CacheMB is the local storage capacity (<= 0 = unbounded).
+	CacheMB float64
+	// Link is the one-way broker link latency.
+	Link time.Duration
+	// BidDelay models the time the bidding thread takes to compute an
+	// estimate before submitting.
+	BidDelay time.Duration
+	// Heartbeat is the idle re-pull interval for pull-based agents.
+	// Zero defaults to 500ms.
+	Heartbeat time.Duration
+	// Seed seeds the node's noise stream.
+	Seed int64
+}
+
+// WorkerState is the part of a worker that survives across workflow
+// runs: its cache contents, link accounting, and learned cost model.
+// The experiment harness reuses one WorkerState per node across the
+// paper's three iterations so later runs see warm caches.
+type WorkerState struct {
+	Spec  WorkerSpec
+	Cache *storage.Cache
+	Link  *netsim.Link
+	Costs CostModel
+}
+
+// NewWorkerState builds the persistent state for a spec. costs may be
+// nil, in which case a perfect-knowledge static model over the nominal
+// speeds is used.
+func NewWorkerState(spec WorkerSpec, costs CostModel) *WorkerState {
+	if spec.Heartbeat <= 0 {
+		spec.Heartbeat = 500 * time.Millisecond
+	}
+	if costs == nil {
+		costs = staticCosts{netMBps: spec.Net.BaseMBps, rwMBps: spec.RW.BaseMBps}
+	}
+	return &WorkerState{
+		Spec:  spec,
+		Cache: storage.New(spec.CacheMB),
+		Link:  netsim.NewLink(spec.Net, spec.RW, spec.Seed),
+		Costs: costs,
+	}
+}
+
+// staticCosts is the default perfect-knowledge cost model: estimates use
+// the nominal speeds and ignore observations.
+type staticCosts struct{ netMBps, rwMBps float64 }
+
+func (s staticCosts) TransferEstimate(hasData bool, sizeMB float64) time.Duration {
+	if hasData || sizeMB <= 0 {
+		return 0
+	}
+	return time.Duration(sizeMB / s.netMBps * float64(time.Second))
+}
+
+func (s staticCosts) ProcessEstimate(sizeMB float64) time.Duration {
+	if sizeMB <= 0 {
+		return 0
+	}
+	return time.Duration(sizeMB / s.rwMBps * float64(time.Second))
+}
+
+func (staticCosts) ObserveTransfer(float64, time.Duration) {}
+func (staticCosts) ObserveProcess(float64, time.Duration)  {}
+
+// newWorker wires a worker over existing persistent state.
+func newWorker(clk vclock.Clock, ep Port, wf *Workflow, st *WorkerState,
+	hub *gitsim.Hub, agent Agent) *Worker {
+	return &Worker{
+		name:        st.Spec.Name,
+		clk:         clk,
+		ep:          ep,
+		wf:          wf,
+		cache:       st.Cache,
+		link:        st.Link,
+		hub:         hub,
+		costs:       st.Costs,
+		agent:       agent,
+		bidDelay:    st.Spec.BidDelay,
+		heartbeat:   st.Spec.Heartbeat,
+		execQ:       clk.NewMailbox("exec:" + st.Spec.Name),
+		queuedCosts: make(map[string]time.Duration),
+		pendingData: make(map[string]int),
+	}
+}
+
+// NewWorker wires a worker over an arbitrary Port — the entry point for
+// distributed deployments. hub may be nil when the workflow's tasks
+// never call SearchHub.
+func NewWorker(clk vclock.Clock, port Port, wf *Workflow, st *WorkerState,
+	hub *gitsim.Hub, agent Agent) *Worker {
+	return newWorker(clk, port, wf, st, hub, agent)
+}
+
+// Start registers with the master and launches the worker's goroutines.
+// It returns immediately; the goroutines run until a stop message
+// arrives or the port's inbox closes.
+func (w *Worker) Start() { w.start() }
+
+// start registers with the master and launches the comms and executor
+// goroutines. The policy agent starts once the master acknowledges the
+// registration, so its first pull cannot be lost to start-up ordering.
+func (w *Worker) start() {
+	w.ep.Subscribe(TopicBids)
+	w.ep.Subscribe(TopicControl)
+	w.register()
+	w.clk.Go(w.commsLoop)
+	w.clk.Go(w.execLoop)
+}
+
+// register announces the worker and keeps re-announcing on the
+// heartbeat until acknowledged — the master may not be reachable yet in
+// a distributed deployment.
+func (w *Worker) register() {
+	w.mu.Lock()
+	stop := w.killed || w.stopped || w.registered
+	w.mu.Unlock()
+	if stop {
+		return
+	}
+	w.ep.Send(MasterName, MsgRegister{Worker: w.name})
+	w.clk.AfterFunc(w.heartbeat, w.register)
+}
+
+func (w *Worker) commsLoop() {
+	for {
+		v, ok := w.ep.Inbox().Recv()
+		if !ok {
+			w.shutdown()
+			return
+		}
+		env, ok := v.(broker.Envelope)
+		if !ok {
+			continue
+		}
+		switch msg := env.Payload.(type) {
+		case MsgRegisterAck:
+			w.mu.Lock()
+			first := !w.registered
+			w.registered = true
+			w.mu.Unlock()
+			if first {
+				w.agent.Start(w)
+			}
+		case MsgAssign:
+			est := msg.EstimatedCost
+			if est <= 0 {
+				est = w.EstimateJob(msg.Job)
+			}
+			w.enqueue(msg.Job, est)
+		case MsgOffer:
+			w.agent.OnOffer(w, msg.Job)
+		case MsgBidRequest:
+			w.agent.OnBidRequest(w, msg.Job)
+		case MsgNoWork:
+			w.agent.OnNoWork(w, msg.Backoff)
+		case MsgStop:
+			w.shutdown()
+			return
+		}
+	}
+}
+
+// shutdown marks the worker stopped and closes the executor queue.
+func (w *Worker) shutdown() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+	w.execQ.Close()
+}
+
+func (w *Worker) execLoop() {
+	for {
+		v, ok := w.execQ.Recv()
+		if !ok {
+			return
+		}
+		job := v.(*Job)
+		w.execute(job)
+	}
+}
+
+func (w *Worker) execute(job *Job) {
+	w.mu.Lock()
+	w.currentJob = job.ID
+	w.currentEst = w.queuedCosts[job.ID]
+	w.currentStart = w.clk.Now()
+	delete(w.queuedCosts, job.ID)
+	w.mu.Unlock()
+
+	task, ok := w.wf.TaskFor(job.Stream)
+	done := MsgJobDone{JobID: job.ID, Worker: w.name}
+	if !ok {
+		done.Failed = true
+		done.Error = "no task consumes stream " + job.Stream
+	} else {
+		ctx := &TaskContext{worker: w, job: job}
+		newJobs, results, err := task.Fn(ctx, job)
+		done.NewJobs = newJobs
+		done.Results = results
+		if err != nil {
+			done.Failed = true
+			done.Error = err.Error()
+		}
+	}
+
+	w.mu.Lock()
+	w.currentJob = ""
+	w.currentEst = 0
+	w.jobsDone++
+	w.busy += w.clk.Since(w.currentStart)
+	if job.DataKey != "" {
+		// The data is now cached (or the job is gone); stop counting it
+		// as a pending acquisition.
+		if w.pendingData[job.DataKey]--; w.pendingData[job.DataKey] <= 0 {
+			delete(w.pendingData, job.DataKey)
+		}
+	}
+	w.mu.Unlock()
+
+	w.ep.Send(MasterName, done)
+	w.agent.OnJobFinished(w, job)
+}
+
+// enqueue accepts a job into the local FIFO queue with the given
+// believed cost.
+func (w *Worker) enqueue(job *Job, est time.Duration) {
+	w.mu.Lock()
+	w.queuedCosts[job.ID] = est
+	if job.DataKey != "" {
+		w.pendingData[job.DataKey]++
+	}
+	w.mu.Unlock()
+	w.execQ.Send(job)
+}
+
+// kill simulates a crash: the node drops off the broker and stops
+// accepting work. A job already executing runs to completion but its
+// results are lost in the network.
+func (w *Worker) kill() {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.killed = true
+	w.mu.Unlock()
+	if d, ok := w.ep.(disconnecter); ok {
+		d.Disconnect()
+	}
+	w.ep.Inbox().Close()
+}
+
+// --- Agent-facing API ----------------------------------------------------
+
+// Name returns the worker's node name.
+func (w *Worker) Name() string { return w.name }
+
+// Clock returns the engine clock.
+func (w *Worker) Clock() vclock.Clock { return w.clk }
+
+// Cache returns the worker's local data cache.
+func (w *Worker) Cache() *storage.Cache { return w.cache }
+
+// Costs returns the worker's cost model.
+func (w *Worker) Costs() CostModel { return w.costs }
+
+// Heartbeat returns the idle re-pull interval.
+func (w *Worker) Heartbeat() time.Duration { return w.heartbeat }
+
+// QueuedCost returns the believed time to finish all unfinished local
+// work — Listing 2, line 2 (totalCostOfUnfinishedJobs), including the
+// remaining believed cost of the job currently executing.
+func (w *Worker) QueuedCost() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total time.Duration
+	for _, c := range w.queuedCosts {
+		total += c
+	}
+	if w.currentJob != "" {
+		remaining := w.currentEst - w.clk.Since(w.currentStart)
+		if remaining > 0 {
+			total += remaining
+		}
+	}
+	return total
+}
+
+// EstimateJob returns the believed data-transfer plus processing cost of
+// job on this worker (Listing 2, lines 4–5). Data counts as local if it
+// is cached or if an unfinished queued job will already fetch it — the
+// §5 estimate covers "the time to download resources and execute all
+// unfinished jobs", so a committed download is never priced twice. A
+// job's CostHint, when set, replaces the speed-derived processing
+// estimate.
+func (w *Worker) EstimateJob(job *Job) time.Duration {
+	hasData := job.DataKey == "" || w.cache.Contains(job.DataKey) || w.dataPending(job.DataKey)
+	transfer := w.costs.TransferEstimate(hasData, job.DataSizeMB)
+	if job.CostHint > 0 {
+		return transfer + job.CostHint
+	}
+	return transfer + w.costs.ProcessEstimate(job.computeMB())
+}
+
+// dataPending reports whether an unfinished queued job will fetch key.
+func (w *Worker) dataPending(key string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pendingData[key] > 0
+}
+
+// JobDataLocal reports whether the job's data is local to this worker —
+// cached already, or committed to be fetched by a queued job.
+func (w *Worker) JobDataLocal(job *Job) bool {
+	return job.DataKey == "" || w.cache.Contains(job.DataKey) || w.dataPending(job.DataKey)
+}
+
+// SubmitBid sends a bid for job after the worker's bid-computation
+// delay, modelling the separate bidding thread of §5. jobCost is the
+// job-only component of the estimate (see MsgBid.JobCost); local flags a
+// data-local bid (see MsgBid.Local).
+func (w *Worker) SubmitBid(jobID string, estimate, jobCost time.Duration, local bool) {
+	send := func() {
+		w.ep.Send(MasterName, MsgBid{
+			JobID: jobID, Worker: w.name, Estimate: estimate, JobCost: jobCost, Local: local,
+		})
+	}
+	if w.bidDelay <= 0 {
+		send()
+		return
+	}
+	w.clk.AfterFunc(w.bidDelay, send)
+}
+
+// AcceptOffer takes an offered job into the local queue and notifies the
+// master.
+func (w *Worker) AcceptOffer(job *Job) {
+	w.enqueue(job, w.EstimateJob(job))
+	w.ep.Send(MasterName, MsgAccept{JobID: job.ID, Worker: w.name})
+}
+
+// RejectOffer returns an offered job to the master.
+func (w *Worker) RejectOffer(job *Job) {
+	w.ep.Send(MasterName, MsgReject{JobID: job.ID, Worker: w.name})
+}
+
+// RequestWork pulls for a job, reporting the worker's cached keys and
+// its consecutive-empty-pull strike count.
+func (w *Worker) RequestWork(strikes int) {
+	w.ep.Send(MasterName, MsgRequestJob{
+		Worker:     w.name,
+		CachedKeys: w.cache.Keys(),
+		Strikes:    strikes,
+	})
+}
+
+// RequestWorkAfter schedules RequestWork after d.
+func (w *Worker) RequestWorkAfter(d time.Duration, strikes int) {
+	if d <= 0 {
+		d = w.heartbeat
+	}
+	w.clk.AfterFunc(d, func() {
+		w.mu.Lock()
+		dead := w.killed
+		w.mu.Unlock()
+		if !dead {
+			w.RequestWork(strikes)
+		}
+	})
+}
+
+// JobsDone returns how many jobs this worker has completed.
+func (w *Worker) JobsDone() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.jobsDone
+}
+
+// BusyTime returns the cumulative clock time this worker spent
+// executing jobs, the basis of the utilization metric.
+func (w *Worker) BusyTime() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.busy
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crossflow/internal/cluster"
+	"crossflow/internal/core"
+	"crossflow/internal/engine"
+	"crossflow/internal/metrics"
+	"crossflow/internal/workload"
+)
+
+// SimOptions tunes the controlled-environment experiments (§6.3).
+type SimOptions struct {
+	// Iterations per (workload, profile, policy) cell; worker caches
+	// persist across iterations, matching the paper's protocol. Zero
+	// defaults to the paper's 3.
+	Iterations int
+	// Jobs per workflow run; zero defaults to the paper's 120.
+	Jobs int
+	// Seed drives workload generation and worker noise.
+	Seed int64
+	// Policies to compare; nil defaults to bidding vs baseline.
+	Policies []core.Policy
+	// Cluster tunes fleet construction (noise, latency, cache size).
+	Cluster cluster.Options
+	// MeanInterarrival spaces the job stream; zero keeps the default.
+	MeanInterarrival time.Duration
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.Iterations == 0 {
+		o.Iterations = 3
+	}
+	if o.Jobs == 0 {
+		o.Jobs = 120
+	}
+	if len(o.Policies) == 0 {
+		bid, _ := core.PolicyByName("bidding")
+		base, _ := core.PolicyByName("baseline")
+		o.Policies = []core.Policy{bid, base}
+	}
+	o.Cluster.Seed = o.Seed
+	return o
+}
+
+// Cell is the outcome of one (workload, profile) combination: one series
+// of iteration runs per policy.
+type Cell struct {
+	Workload workload.JobConfig
+	Profile  cluster.Profile
+	Series   map[string]*metrics.Series
+}
+
+// RunCell executes every policy on one workload/profile combination.
+// Each policy gets a fresh, identically seeded cluster (cold caches);
+// its iterations then share worker state so caches warm up.
+func RunCell(jc workload.JobConfig, prof cluster.Profile, opts SimOptions) (*Cell, error) {
+	o := opts.withDefaults()
+	cell := &Cell{Workload: jc, Profile: prof, Series: make(map[string]*metrics.Series)}
+	for _, pol := range o.Policies {
+		states := cluster.Build(prof, o.Cluster, nil)
+		series := &metrics.Series{Name: pol.Name}
+		for it := 0; it < o.Iterations; it++ {
+			arrivals := workload.Generate(jc, workload.Options{
+				Jobs:             o.Jobs,
+				Seed:             o.Seed,
+				MeanInterarrival: o.MeanInterarrival,
+			})
+			rep, err := engine.Run(engine.Config{
+				Workers:   states,
+				Allocator: pol.NewAllocator(),
+				NewAgent:  pol.NewAgent,
+				Workflow:  workload.Workflow(),
+				Arrivals:  arrivals,
+				Seed:      o.Seed + int64(it),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s/%s iteration %d: %w",
+					pol.Name, jc, prof, it, err)
+			}
+			series.Add(metrics.FromReport(rep))
+		}
+		cell.Series[pol.Name] = series
+	}
+	return cell, nil
+}
+
+// Grid runs every workload × profile combination and returns cells in
+// (workload-major, profile-minor) order — the full §6.3 sweep.
+func Grid(opts SimOptions) ([]*Cell, error) {
+	cells := make([]*Cell, 0, len(workload.JobConfigs)*len(cluster.Profiles))
+	for _, jc := range workload.JobConfigs {
+		for _, prof := range cluster.Profiles {
+			cell, err := RunCell(jc, prof, opts)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// pooled merges every cell's series for one policy across profiles,
+// giving the per-workload aggregates Figure 3 charts.
+func pooled(cells []*Cell, jc workload.JobConfig, policy string) *metrics.Series {
+	out := &metrics.Series{Name: policy}
+	for _, c := range cells {
+		if c.Workload != jc {
+			continue
+		}
+		if s := c.Series[policy]; s != nil {
+			out.Runs = append(out.Runs, s.Runs...)
+		}
+	}
+	return out
+}

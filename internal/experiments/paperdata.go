@@ -1,0 +1,91 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6): the Figure 2 Spark-vs-Crossflow comparison, the
+// Figure 3 per-workload aggregates, the Figure 4 per-configuration
+// breakdown, the Tables 1–3 live MSR runs, and the headline summary
+// statistics. Each runner prints the paper's reported values next to the
+// measured ones; absolute magnitudes differ (the substrate is a
+// simulator, not the authors' AWS fleet) but the comparative shape is
+// the reproduction target.
+package experiments
+
+// PaperHeadline holds the paper's summary claims (§6.3.2 and abstract).
+type PaperHeadline struct {
+	MaxSpeedup       float64 // "up to 3.57x faster execution times"
+	AvgSpeedupPct    float64 // "approximately 24.5% compared to the Baseline"
+	MissReductionPct float64 // "approximately 49% fewer cache misses"
+	DataReductionPct float64 // "approximately 45.3% reduction in data load"
+}
+
+// Headline is the paper's reported summary.
+var Headline = PaperHeadline{
+	MaxSpeedup:       3.57,
+	AvgSpeedupPct:    24.5,
+	MissReductionPct: 49.0,
+	DataReductionPct: 45.3,
+}
+
+// PaperFig3 holds the per-workload values the paper reports explicitly
+// in §6.3.2 (only two workloads are quantified in the text).
+type PaperFig3 struct {
+	Workload   string
+	BidMisses  float64
+	BaseMisses float64
+	BidMB      float64
+	BaseMB     float64
+	SpeedupPct float64 // end-to-end improvement of Bidding over Baseline
+}
+
+// Fig3Reported lists the paper's quantified Figure 3 data points.
+var Fig3Reported = []PaperFig3{
+	{
+		Workload:   "80%_large",
+		BidMisses:  22.65,
+		BaseMisses: 45.5,
+		BidMB:      5270.87,
+		BaseMB:     10786.88,
+		SpeedupPct: 41,
+	},
+	{
+		Workload:   "all_diff_equal",
+		BidMisses:  45.5 - 26.83, // "26.83 less cache misses on average" vs baseline
+		BaseMisses: 45.5,         // baseline count not given; misses delta is the claim
+		BidMB:      9591.45,
+		BaseMB:     17908.08,
+		SpeedupPct: 57,
+	},
+}
+
+// PaperFig2 holds Figure 2's reported Spark/Crossflow ratios.
+type PaperFig2 struct {
+	Group       string
+	Description string
+	// SparkOverCrossflow is how many times longer Spark took; zero when
+	// the paper gives no number for the group.
+	SparkOverCrossflow float64
+}
+
+// Fig2Reported lists the four column groups of Figure 2.
+var Fig2Reported = []PaperFig2{
+	{"group-1", "fast+slow workers, large repositories", 7.94},
+	{"group-2", "all-equal workers, small repositories", 2.3},
+	{"group-3", "all-equal workers, non-repetitive dataset", 0},
+	{"group-4", "varying speeds, 80% repetitive dataset", 0},
+}
+
+// PaperTableRow is one run of the live MSR experiment (§6.4).
+type PaperTableRow struct {
+	Run          string
+	BiddingSec   float64
+	BaselineSec  float64
+	BiddingMB    float64
+	BaselineMB   float64
+	BiddingMiss  int
+	BaselineMiss int
+}
+
+// TablesReported holds the paper's Tables 1–3, row-aligned by run.
+var TablesReported = []PaperTableRow{
+	{"run 1", 3204.5, 3575.55, 332935.90, 891165.59, 205, 405},
+	{"run 2", 2918.5, 3544.45, 325461.08, 847802.57, 191, 394},
+	{"run 3", 3116.52, 4183.5, 330048.70, 889594.77, 186, 386},
+}

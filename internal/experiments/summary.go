@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"crossflow/internal/metrics"
+	"crossflow/internal/workload"
+)
+
+// Summary aggregates a full grid into the paper's headline statistics.
+type Summary struct {
+	// MaxSpeedup is the largest Baseline/Bidding makespan ratio over all
+	// cells (paper: "up to 3.57x faster execution times").
+	MaxSpeedup     float64
+	MaxSpeedupCell string
+	// AvgSpeedupPct is the mean end-to-end time reduction of Bidding
+	// over Baseline across cells (paper: ≈24.5%).
+	AvgSpeedupPct float64
+	// MissReductionPct is the pooled cache-miss reduction (paper: ≈49%).
+	MissReductionPct float64
+	// DataReductionPct is the pooled data-load reduction (paper: ≈45.3%).
+	DataReductionPct float64
+	// BiddingWins counts cells where Bidding beat Baseline; Cells the
+	// total (the paper expects Bidding to lose some small/fast cells).
+	BiddingWins int
+	Cells       int
+}
+
+// Summarize folds a grid of cells into headline statistics.
+func Summarize(cells []*Cell) Summary {
+	var s Summary
+	var speedupSum float64
+	var bidMiss, baseMiss, bidMB, baseMB float64
+	for _, c := range cells {
+		bid := c.Series["bidding"]
+		base := c.Series["baseline"]
+		if bid == nil || base == nil || bid.Len() == 0 || base.Len() == 0 {
+			continue
+		}
+		s.Cells++
+		bidSec, baseSec := bid.MeanSeconds(), base.MeanSeconds()
+		if bidSec < baseSec {
+			s.BiddingWins++
+		}
+		if bidSec > 0 {
+			ratio := baseSec / bidSec
+			if ratio > s.MaxSpeedup {
+				s.MaxSpeedup = ratio
+				s.MaxSpeedupCell = fmt.Sprintf("%s/%s", c.Workload, c.Profile)
+			}
+		}
+		speedupSum += metrics.Reduction(bidSec, baseSec)
+		bidMiss += bid.MeanMisses()
+		baseMiss += base.MeanMisses()
+		bidMB += bid.MeanDataMB()
+		baseMB += base.MeanDataMB()
+	}
+	if s.Cells > 0 {
+		s.AvgSpeedupPct = speedupSum / float64(s.Cells) * 100
+	}
+	s.MissReductionPct = metrics.Reduction(bidMiss, baseMiss) * 100
+	s.DataReductionPct = metrics.Reduction(bidMB, baseMB) * 100
+	return s
+}
+
+// RenderSummary prints measured headline statistics next to the paper's.
+func RenderSummary(w io.Writer, s Summary) {
+	t := &metrics.Table{
+		Title:  "Headline summary: Bidding vs Baseline across the full grid",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	t.AddRow("max speedup", metrics.Ratio(s.MaxSpeedup)+" ("+s.MaxSpeedupCell+")",
+		metrics.Ratio(Headline.MaxSpeedup))
+	t.AddRow("avg time reduction", fmt.Sprintf("%.1f%%", s.AvgSpeedupPct),
+		fmt.Sprintf("%.1f%%", Headline.AvgSpeedupPct))
+	t.AddRow("cache-miss reduction", fmt.Sprintf("%.1f%%", s.MissReductionPct),
+		fmt.Sprintf("%.1f%%", Headline.MissReductionPct))
+	t.AddRow("data-load reduction", fmt.Sprintf("%.1f%%", s.DataReductionPct),
+		fmt.Sprintf("%.1f%%", Headline.DataReductionPct))
+	t.AddRow("cells won by bidding", fmt.Sprintf("%d/%d", s.BiddingWins, s.Cells), "most")
+	t.Render(w)
+}
+
+// WorkloadNames returns the paper-order workload names (a convenience
+// for binaries that enumerate experiments).
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workload.JobConfigs))
+	for _, c := range workload.JobConfigs {
+		names = append(names, c.String())
+	}
+	return names
+}

@@ -1,0 +1,215 @@
+// Package gitsim is the synthetic stand-in for GitHub in the MSR
+// workload: a deterministic catalog of repositories with realistic size
+// distributions, a search API with latency, and the popular-NPM-library
+// stream the paper's pipeline consumes.
+//
+// Only repository identities and sizes matter to the schedulers under
+// study — content never does — so a repository here is a name plus a size
+// and popularity metadata.
+package gitsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Repo is one synthetic Git repository.
+type Repo struct {
+	// Name is the unique "owner/project" identifier; it doubles as the
+	// data key workers cache clones under.
+	Name string
+	// SizeMB is the clone size.
+	SizeMB float64
+	// Stars and Forks are popularity metadata used by search filters.
+	Stars int
+	Forks int
+}
+
+// SizeClass selects a repository size distribution, mirroring the
+// paper's configurations (§6.3.1: sizes "ranging between 1MB and 1GB").
+type SizeClass int
+
+const (
+	// Small draws sizes uniformly from 1–50 MB.
+	Small SizeClass = iota
+	// Medium draws sizes uniformly from 50–500 MB.
+	Medium
+	// Large draws sizes uniformly from 500–1000 MB.
+	Large
+	// Mixed draws each repository's class uniformly from the above
+	// three, giving the paper's "equal distribution of repository sizes".
+	Mixed
+	// HugeLive draws sizes uniformly from 500–3000 MB, matching the
+	// non-simulated MSR experiments (§6.4), which mined favoured
+	// large-scale repositories.
+	HugeLive
+)
+
+// String returns the class name used in configuration files and output.
+func (c SizeClass) String() string {
+	switch c {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	case Mixed:
+		return "mixed"
+	case HugeLive:
+		return "huge-live"
+	default:
+		return fmt.Sprintf("SizeClass(%d)", int(c))
+	}
+}
+
+// draw samples a size in MB for the class.
+func (c SizeClass) draw(rng *rand.Rand) float64 {
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	switch c {
+	case Small:
+		return uniform(1, 50)
+	case Medium:
+		return uniform(50, 500)
+	case Large:
+		return uniform(500, 1000)
+	case HugeLive:
+		return uniform(500, 3000)
+	default: // Mixed
+		switch rng.Intn(3) {
+		case 0:
+			return uniform(1, 50)
+		case 1:
+			return uniform(50, 500)
+		default:
+			return uniform(500, 1000)
+		}
+	}
+}
+
+// SampleSize draws one repository size in MB for the class using rng.
+// Workload generators use it to mix classes in paper-defined proportions.
+func SampleSize(c SizeClass, rng *rand.Rand) float64 { return c.draw(rng) }
+
+// Catalog is an immutable set of repositories.
+type Catalog struct {
+	repos  []Repo
+	byName map[string]*Repo
+}
+
+// GenerateCatalog deterministically creates n repositories of the given
+// size class from seed.
+func GenerateCatalog(n int, class SizeClass, seed int64) *Catalog {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Catalog{byName: make(map[string]*Repo, n)}
+	c.repos = make([]Repo, 0, n)
+	for i := 0; i < n; i++ {
+		r := Repo{
+			Name:   fmt.Sprintf("org-%02d/repo-%04d", i%17, i),
+			SizeMB: class.draw(rng),
+			Stars:  5000 + rng.Intn(95000),
+			Forks:  5000 + rng.Intn(45000),
+		}
+		c.repos = append(c.repos, r)
+		c.byName[r.Name] = &c.repos[len(c.repos)-1]
+	}
+	return c
+}
+
+// Len returns the number of repositories.
+func (c *Catalog) Len() int { return len(c.repos) }
+
+// Repos returns all repositories in generation order. The slice is
+// shared; callers must not modify it.
+func (c *Catalog) Repos() []Repo { return c.repos }
+
+// Lookup finds a repository by name.
+func (c *Catalog) Lookup(name string) (Repo, bool) {
+	r, ok := c.byName[name]
+	if !ok {
+		return Repo{}, false
+	}
+	return *r, true
+}
+
+// TotalMB returns the combined clone size of the catalog.
+func (c *Catalog) TotalMB() float64 {
+	var sum float64
+	for _, r := range c.repos {
+		sum += r.SizeMB
+	}
+	return sum
+}
+
+// Filter selects repositories in a search, mirroring the motivating
+// example's query (repositories larger than 500 MB with at least 5000
+// stars and forks).
+type Filter struct {
+	MinSizeMB float64
+	MinStars  int
+	MinForks  int
+	// Limit caps the result count; zero means no cap.
+	Limit int
+}
+
+// Search returns the repositories matching f, sorted by descending
+// stars — the "favoured large-scale projects" first.
+func (c *Catalog) Search(f Filter) []Repo {
+	out := make([]Repo, 0, len(c.repos))
+	for _, r := range c.repos {
+		if r.SizeMB >= f.MinSizeMB && r.Stars >= f.MinStars && r.Forks >= f.MinForks {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stars != out[j].Stars {
+			return out[i].Stars > out[j].Stars
+		}
+		return out[i].Name < out[j].Name
+	})
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// Hub wraps a catalog with API behaviour: the latency a caller should
+// charge per search call (the engine sleeps for it on its clock).
+type Hub struct {
+	*Catalog
+	// APILatency is the simulated round-trip time of one search call.
+	APILatency time.Duration
+}
+
+// NewHub returns a Hub over the catalog with the given API latency.
+func NewHub(c *Catalog, apiLatency time.Duration) *Hub {
+	return &Hub{Catalog: c, APILatency: apiLatency}
+}
+
+// popularNPM is the seed list of popular NPM libraries from the
+// motivating example's structured input (step 1 of the §2 protocol).
+var popularNPM = []string{
+	"lodash", "react", "chalk", "axios", "express", "moment", "tslib",
+	"commander", "debug", "async", "react-dom", "fs-extra", "prop-types",
+	"request", "bluebird", "vue", "uuid", "classnames", "yargs", "webpack",
+	"underscore", "mkdirp", "glob", "colors", "body-parser", "rxjs",
+	"babel-core", "jquery", "minimist", "inquirer",
+}
+
+// Libraries returns n library names for the input stream: the popular
+// NPM list first, then deterministic synthetic names.
+func Libraries(n int) []string {
+	if n <= len(popularNPM) {
+		out := make([]string, n)
+		copy(out, popularNPM[:n])
+		return out
+	}
+	out := make([]string, 0, n)
+	out = append(out, popularNPM...)
+	for i := len(popularNPM); i < n; i++ {
+		out = append(out, fmt.Sprintf("lib-%03d", i))
+	}
+	return out
+}

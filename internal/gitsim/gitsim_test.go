@@ -1,0 +1,222 @@
+package gitsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateCatalogDeterministic(t *testing.T) {
+	a := GenerateCatalog(50, Mixed, 42)
+	b := GenerateCatalog(50, Mixed, 42)
+	if a.Len() != 50 || b.Len() != 50 {
+		t.Fatalf("Len = %d/%d", a.Len(), b.Len())
+	}
+	for i := range a.Repos() {
+		if a.Repos()[i] != b.Repos()[i] {
+			t.Fatalf("repo %d differs between identically seeded catalogs", i)
+		}
+	}
+	c := GenerateCatalog(50, Mixed, 43)
+	same := true
+	for i := range a.Repos() {
+		if a.Repos()[i].SizeMB != c.Repos()[i].SizeMB {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical catalogs")
+	}
+}
+
+func TestSizeClassRanges(t *testing.T) {
+	cases := []struct {
+		class  SizeClass
+		lo, hi float64
+	}{
+		{Small, 1, 50},
+		{Medium, 50, 500},
+		{Large, 500, 1000},
+		{Mixed, 1, 1000},
+		{HugeLive, 500, 3000},
+	}
+	for _, tc := range cases {
+		cat := GenerateCatalog(200, tc.class, 7)
+		for _, r := range cat.Repos() {
+			if r.SizeMB < tc.lo || r.SizeMB > tc.hi {
+				t.Errorf("%v: size %.1f outside [%.0f,%.0f]", tc.class, r.SizeMB, tc.lo, tc.hi)
+			}
+		}
+	}
+}
+
+func TestMixedCoversAllClasses(t *testing.T) {
+	cat := GenerateCatalog(300, Mixed, 11)
+	var small, medium, large int
+	for _, r := range cat.Repos() {
+		switch {
+		case r.SizeMB <= 50:
+			small++
+		case r.SizeMB <= 500:
+			medium++
+		default:
+			large++
+		}
+	}
+	if small == 0 || medium == 0 || large == 0 {
+		t.Errorf("mixed split %d/%d/%d misses a class", small, medium, large)
+	}
+}
+
+func TestSizeClassString(t *testing.T) {
+	names := map[SizeClass]string{
+		Small: "small", Medium: "medium", Large: "large",
+		Mixed: "mixed", HugeLive: "huge-live", SizeClass(99): "SizeClass(99)",
+	}
+	for class, want := range names {
+		if got := class.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(class), got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	cat := GenerateCatalog(10, Small, 1)
+	name := cat.Repos()[3].Name
+	r, ok := cat.Lookup(name)
+	if !ok || r.Name != name {
+		t.Errorf("Lookup(%q) = %+v, %v", name, r, ok)
+	}
+	if _, ok := cat.Lookup("no/such"); ok {
+		t.Error("Lookup found a missing repo")
+	}
+}
+
+func TestTotalMB(t *testing.T) {
+	cat := GenerateCatalog(25, Small, 1)
+	var want float64
+	for _, r := range cat.Repos() {
+		want += r.SizeMB
+	}
+	if got := cat.TotalMB(); got != want {
+		t.Errorf("TotalMB = %v, want %v", got, want)
+	}
+}
+
+func TestSearchFiltersAndSorts(t *testing.T) {
+	cat := GenerateCatalog(100, Mixed, 5)
+	f := Filter{MinSizeMB: 500, MinStars: 20000, MinForks: 10000}
+	got := cat.Search(f)
+	for _, r := range got {
+		if r.SizeMB < 500 || r.Stars < 20000 || r.Forks < 10000 {
+			t.Errorf("search returned non-matching repo %+v", r)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Stars > got[i-1].Stars {
+			t.Error("search results not sorted by descending stars")
+		}
+	}
+	if limited := cat.Search(Filter{Limit: 3}); len(limited) != 3 {
+		t.Errorf("Limit ignored: got %d results", len(limited))
+	}
+	if all := cat.Search(Filter{}); len(all) != 100 {
+		t.Errorf("empty filter returned %d of 100", len(all))
+	}
+}
+
+func TestHub(t *testing.T) {
+	cat := GenerateCatalog(10, Small, 1)
+	hub := NewHub(cat, 250*time.Millisecond)
+	if hub.APILatency != 250*time.Millisecond {
+		t.Errorf("APILatency = %v", hub.APILatency)
+	}
+	if hub.Len() != 10 {
+		t.Errorf("hub catalog Len = %d", hub.Len())
+	}
+}
+
+func TestLibraries(t *testing.T) {
+	if got := Libraries(5); len(got) != 5 || got[0] != "lodash" {
+		t.Errorf("Libraries(5) = %v", got)
+	}
+	got := Libraries(40)
+	if len(got) != 40 {
+		t.Fatalf("Libraries(40) returned %d", len(got))
+	}
+	seen := make(map[string]bool)
+	for _, l := range got {
+		if seen[l] {
+			t.Errorf("duplicate library %q", l)
+		}
+		seen[l] = true
+	}
+	if got := Libraries(0); len(got) != 0 {
+		t.Errorf("Libraries(0) = %v", got)
+	}
+}
+
+// Property: every generated repo name is unique and resolvable.
+func TestPropertyCatalogNamesUnique(t *testing.T) {
+	prop := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%100) + 1
+		cat := GenerateCatalog(n, Mixed, seed)
+		seen := make(map[string]bool, n)
+		for _, r := range cat.Repos() {
+			if seen[r.Name] {
+				return false
+			}
+			seen[r.Name] = true
+			if got, ok := cat.Lookup(r.Name); !ok || got != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: search results are always a subset of the catalog satisfying
+// the filter, and Limit is never exceeded.
+func TestPropertySearchSound(t *testing.T) {
+	prop := func(seed int64, minSize uint16, limit uint8) bool {
+		cat := GenerateCatalog(60, Mixed, seed)
+		f := Filter{MinSizeMB: float64(minSize % 1200), Limit: int(limit % 20)}
+		got := cat.Search(f)
+		if f.Limit > 0 && len(got) > f.Limit {
+			return false
+		}
+		for _, r := range got {
+			if r.SizeMB < f.MinSizeMB {
+				return false
+			}
+			if _, ok := cat.Lookup(r.Name); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerateCatalog(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GenerateCatalog(100, Mixed, int64(i))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	cat := GenerateCatalog(500, Mixed, 1)
+	f := Filter{MinSizeMB: 500, MinStars: 20000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.Search(f)
+	}
+}

@@ -1,0 +1,261 @@
+// Package metrics aggregates run reports across iterations and renders
+// the aligned text tables the experiment harness prints. The three
+// headline metrics follow §6.1: end-to-end execution time, data load in
+// megabytes, and cache-miss count.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"crossflow/internal/engine"
+)
+
+// RunSummary is the per-run extract of an engine report used by the
+// experiment harness.
+type RunSummary struct {
+	Makespan     time.Duration
+	CacheMisses  int
+	CacheHits    int
+	DataLoadMB   float64
+	Jobs         int
+	Contests     int
+	Bids         int
+	Fallbacks    int
+	Offers       int
+	Rejections   int
+	AllocLatency time.Duration
+}
+
+// FromReport extracts a summary from an engine report.
+func FromReport(r *engine.Report) RunSummary {
+	return RunSummary{
+		Makespan:     r.Makespan,
+		CacheMisses:  r.CacheMisses,
+		CacheHits:    r.CacheHits,
+		DataLoadMB:   r.DataLoadMB,
+		Jobs:         r.JobsCompleted,
+		Contests:     r.Contests,
+		Bids:         r.Bids,
+		Fallbacks:    r.Fallbacks,
+		Offers:       r.Offers,
+		Rejections:   r.Rejections,
+		AllocLatency: r.MeanAllocLatency,
+	}
+}
+
+// Series accumulates the iterations of one experimental cell (one
+// scheduler on one workload/worker configuration).
+type Series struct {
+	Name string
+	Runs []RunSummary
+}
+
+// Add appends one run.
+func (s *Series) Add(r RunSummary) { s.Runs = append(s.Runs, r) }
+
+// Len returns the number of accumulated runs.
+func (s *Series) Len() int { return len(s.Runs) }
+
+// MeanSeconds returns the average makespan in seconds.
+func (s *Series) MeanSeconds() float64 {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, r := range s.Runs {
+		total += r.Makespan
+	}
+	return total.Seconds() / float64(len(s.Runs))
+}
+
+// MeanMisses returns the average cache-miss count.
+func (s *Series) MeanMisses() float64 {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	var total int
+	for _, r := range s.Runs {
+		total += r.CacheMisses
+	}
+	return float64(total) / float64(len(s.Runs))
+}
+
+// MeanDataMB returns the average data load in MB.
+func (s *Series) MeanDataMB() float64 {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, r := range s.Runs {
+		total += r.DataLoadMB
+	}
+	return total / float64(len(s.Runs))
+}
+
+// Speedup returns how many times faster a is than b (b.mean / a.mean);
+// zero if a has no time.
+func Speedup(a, b *Series) float64 {
+	am := a.MeanSeconds()
+	if am == 0 {
+		return 0
+	}
+	return b.MeanSeconds() / am
+}
+
+// Reduction returns the fractional reduction from base to x:
+// (base-x)/base. E.g. 0.45 = "45% less".
+func Reduction(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - x) / base
+}
+
+// Table is an aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row; cells beyond the header width are dropped,
+// missing cells rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV — header first, then rows padded or
+// truncated to the header width — for downstream plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Header))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Seconds formats a float of seconds with two decimals, e.g. "3204.50s".
+func Seconds(s float64) string { return fmt.Sprintf("%.2fs", s) }
+
+// MB formats megabytes with two decimals, e.g. "5270.87".
+func MB(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Count formats an average count with two decimals.
+func Count(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Ratio formats a speedup factor, e.g. "3.57x".
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Percent formats a fraction as a percentage, e.g. "45.3%".
+func Percent(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// FlowStats summarizes job flow times (injection to completion) for a
+// run — the per-job latency view behind the makespan.
+type FlowStats struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Flow computes flow-time percentiles from a run's job records,
+// considering only finished jobs.
+func Flow(records map[string]*engine.JobRecord) FlowStats {
+	flows := make([]time.Duration, 0, len(records))
+	var sum time.Duration
+	for _, rec := range records {
+		if rec.Status != engine.StatusFinished || rec.Finished.Before(rec.Injected) {
+			continue
+		}
+		f := rec.Finished.Sub(rec.Injected)
+		flows = append(flows, f)
+		sum += f
+	}
+	if len(flows) == 0 {
+		return FlowStats{}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(flows)-1))
+		return flows[idx]
+	}
+	return FlowStats{
+		Count: len(flows),
+		Mean:  sum / time.Duration(len(flows)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Max:   flows[len(flows)-1],
+	}
+}

@@ -1,0 +1,223 @@
+// Package msr implements the paper's motivating workload (§2): mining
+// software repositories for co-occurrences of popular NPM libraries. The
+// pipeline pairs a stream of library names with the favoured large-scale
+// repositories a GitHub search returns, clones each repository (the
+// expensive, cache-friendly step) and scans it for the library among its
+// package.json dependencies.
+package msr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crossflow/internal/engine"
+	"crossflow/internal/gitsim"
+)
+
+// Stream names used by the pipeline.
+const (
+	// StreamLibraries carries incoming library-name jobs.
+	StreamLibraries = "msr/libraries"
+	// StreamAnalysis carries (library, repository) pair jobs produced by
+	// the searcher; these are the jobs whose allocation the schedulers
+	// compete over.
+	StreamAnalysis = "msr/repo-analysis"
+	// StreamResults carries terminal findings (no consumer).
+	StreamResults = "msr/results"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// Filter selects the repositories each library is searched against —
+	// the motivating example uses >500MB, >=5000 stars and forks.
+	Filter gitsim.Filter
+	// ScanFraction is the share of a repository that must be read to
+	// inspect its package.json dependency graph; zero defaults to 1.0
+	// (a full read, as examining contents dominates).
+	ScanFraction float64
+	// ResultInterval is the time the searcher spends producing each
+	// result (API pagination, metadata fetch); results stream out one by
+	// one at this pace, as Crossflow tasks emit jobs while running.
+	// Zero defaults to 1s; negative emits everything instantly.
+	ResultInterval time.Duration
+}
+
+func (c Config) resultInterval() time.Duration {
+	if c.ResultInterval == 0 {
+		return time.Second
+	}
+	if c.ResultInterval < 0 {
+		return 0
+	}
+	return c.ResultInterval
+}
+
+func (c Config) scanFraction() float64 {
+	if c.ScanFraction <= 0 {
+		return 1.0
+	}
+	return c.ScanFraction
+}
+
+// Pair is the payload of an analysis job.
+type Pair struct {
+	Library string
+	Repo    string
+}
+
+// Finding is the terminal result of one analysis job.
+type Finding struct {
+	Library string
+	Repo    string
+	Depends bool
+}
+
+// Pipeline builds the two-task MSR workflow of Figure 1:
+// RepositorySearcher consumes library jobs and emits one analysis job
+// per matching repository; DependencyAnalyzer clones (or reuses) the
+// repository and scans it.
+func Pipeline(cfg Config) *engine.Workflow {
+	wf := engine.NewWorkflow("msr")
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "RepositorySearcher",
+		Input: StreamLibraries,
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			lib, ok := job.Payload.(string)
+			if !ok {
+				return nil, nil, fmt.Errorf("msr: library job %s has payload %T, want string", job.ID, job.Payload)
+			}
+			repos := ctx.SearchHub(cfg.Filter)
+			for _, r := range repos {
+				ctx.Clock().Sleep(cfg.resultInterval())
+				ctx.Emit(&engine.Job{
+					Stream:     StreamAnalysis,
+					Payload:    Pair{Library: lib, Repo: r.Name},
+					DataKey:    r.Name,
+					DataSizeMB: r.SizeMB,
+					ComputeMB:  r.SizeMB * cfg.scanFraction(),
+				})
+			}
+			return nil, nil, nil
+		},
+	})
+	wf.MustAddTask(engine.TaskSpec{
+		Name:  "DependencyAnalyzer",
+		Input: StreamAnalysis,
+		Fn: func(ctx *engine.TaskContext, job *engine.Job) ([]*engine.Job, []any, error) {
+			pair, ok := job.Payload.(Pair)
+			if !ok {
+				return nil, nil, fmt.Errorf("msr: analysis job %s has payload %T, want Pair", job.ID, job.Payload)
+			}
+			ctx.RequireData(job.DataKey, job.DataSizeMB) // clone or cache hit
+			ctx.Process(job.ComputeMB)                   // scan package.json files
+			finding := Finding{
+				Library: pair.Library,
+				Repo:    pair.Repo,
+				Depends: DependsOn(pair.Library, pair.Repo),
+			}
+			return []*engine.Job{{Stream: StreamResults, Payload: finding}}, nil, nil
+		},
+	})
+	return wf
+}
+
+// DependsOn deterministically decides whether a repository depends on a
+// library — the synthetic stand-in for parsing its package.json. Roughly
+// 40% of (library, repository) pairs are dependencies.
+func DependsOn(library, repo string) bool {
+	h := fnv.New64a()
+	h.Write([]byte(library))
+	h.Write([]byte{0})
+	h.Write([]byte(repo))
+	return h.Sum64()%100 < 40
+}
+
+// SearchCost returns the duration a searcher job occupies a worker for:
+// the API round trip plus the per-result streaming interval over the
+// repositories matching the filter. Library arrivals carry it as their
+// CostHint so bids price the searcher honestly.
+func (c Config) SearchCost(hub *gitsim.Hub) time.Duration {
+	n := len(hub.Search(c.Filter))
+	return hub.APILatency + time.Duration(n)*c.resultInterval()
+}
+
+// LibraryArrivals builds the input stream: one job per library with
+// exponential inter-arrival times of the given mean (zero = all at t=0).
+// searchCost, when positive, is attached as each job's CostHint (see
+// Config.SearchCost).
+func LibraryArrivals(libraries []string, mean time.Duration, seed int64, searchCost time.Duration) []engine.Arrival {
+	rng := rand.New(rand.NewSource(seed))
+	arrivals := make([]engine.Arrival, 0, len(libraries))
+	var at time.Duration
+	for i, lib := range libraries {
+		if mean > 0 && i > 0 {
+			at += time.Duration(rng.ExpFloat64() * float64(mean))
+		}
+		arrivals = append(arrivals, engine.Arrival{
+			At: at,
+			Job: &engine.Job{
+				ID:       fmt.Sprintf("lib-%03d-%s", i, lib),
+				Stream:   StreamLibraries,
+				Payload:  lib,
+				CostHint: searchCost,
+			},
+		})
+	}
+	return arrivals
+}
+
+// CoOccurrence is one library pair's joint appearance count — the CSV
+// row the motivating pipeline ultimately stores.
+type CoOccurrence struct {
+	LibA, LibB string
+	Count      int
+}
+
+// CoOccurrences folds the workflow's findings into sorted co-occurrence
+// counts: two libraries co-occur once per repository that depends on
+// both (step 4 of the §2 protocol).
+func CoOccurrences(results []any) []CoOccurrence {
+	byRepo := make(map[string]map[string]bool)
+	for _, r := range results {
+		f, ok := r.(Finding)
+		if !ok || !f.Depends {
+			continue
+		}
+		set := byRepo[f.Repo]
+		if set == nil {
+			set = make(map[string]bool)
+			byRepo[f.Repo] = set
+		}
+		set[f.Library] = true // duplicate findings collapse here
+	}
+	counts := make(map[[2]string]int)
+	for _, set := range byRepo {
+		libs := make([]string, 0, len(set))
+		for l := range set {
+			libs = append(libs, l)
+		}
+		sort.Strings(libs)
+		for i := 0; i < len(libs); i++ {
+			for j := i + 1; j < len(libs); j++ {
+				counts[[2]string{libs[i], libs[j]}]++
+			}
+		}
+	}
+	out := make([]CoOccurrence, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, CoOccurrence{LibA: k[0], LibB: k[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].LibA != out[j].LibA {
+			return out[i].LibA < out[j].LibA
+		}
+		return out[i].LibB < out[j].LibB
+	})
+	return out
+}

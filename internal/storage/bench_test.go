@@ -1,0 +1,53 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCachePutAccess measures the hot path of worker execution:
+// one Access plus one Put per job under steady eviction pressure.
+func BenchmarkCachePutAccess(b *testing.B) {
+	c := New(1000)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("repo-%03d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if !c.Access(k) {
+			c.Put(k, 25)
+		}
+	}
+}
+
+// BenchmarkCacheContains measures the bid-estimation peek.
+func BenchmarkCacheContains(b *testing.B) {
+	c := New(0)
+	for i := 0; i < 128; i++ {
+		c.Put(fmt.Sprintf("repo-%03d", i), 10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Contains(fmt.Sprintf("repo-%03d", i%256))
+	}
+}
+
+// BenchmarkCacheKeys measures the pull-request snapshot (workers attach
+// their cached keys to every pull).
+func BenchmarkCacheKeys(b *testing.B) {
+	c := New(0)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("repo-%03d", i), 10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.Keys(); len(got) != 64 {
+			b.Fatal("keys lost")
+		}
+	}
+}

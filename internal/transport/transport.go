@@ -1,0 +1,345 @@
+// Package transport carries the broker protocol over TCP, so the master
+// and workers can run as separate OS processes against a dedicated
+// broker process — the deployment shape of the paper's AWS experiments
+// (one instance per worker, one for the master, one for the messaging
+// infrastructure).
+//
+// The wire format is a gob stream per direction. Clients open with a
+// hello frame naming their endpoint; afterwards they exchange sends,
+// publishes, subscriptions and deliveries. Publish is acknowledged with
+// the subscriber count so the bidding master knows how many bids to
+// expect, exactly as the in-process broker reports it.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/engine"
+	"crossflow/internal/vclock"
+)
+
+// frame kinds.
+const (
+	kindHello byte = iota + 1
+	kindSend
+	kindPublish
+	kindPubAck
+	kindSubscribe
+	kindUnsubscribe
+	kindDelivery
+)
+
+// frame is the single wire message shape; Kind selects the meaning.
+type frame struct {
+	Kind    byte
+	Seq     uint64
+	Name    string
+	To      string
+	Topic   string
+	Link    time.Duration
+	Count   int
+	Env     broker.Envelope
+	Payload any
+}
+
+func init() {
+	// The engine's protocol messages travel as gob interface values.
+	gob.Register(engine.MsgRegister{})
+	gob.Register(engine.MsgRegisterAck{})
+	gob.Register(engine.MsgBidRequest{})
+	gob.Register(engine.MsgBid{})
+	gob.Register(engine.MsgAssign{})
+	gob.Register(engine.MsgOffer{})
+	gob.Register(engine.MsgAccept{})
+	gob.Register(engine.MsgReject{})
+	gob.Register(engine.MsgRequestJob{})
+	gob.Register(engine.MsgNoWork{})
+	gob.Register(engine.MsgJobDone{})
+	gob.Register(engine.MsgEmit{})
+	gob.Register(engine.MsgStop{})
+	gob.Register(engine.MsgWorkerDead{})
+	gob.Register(&engine.Job{})
+}
+
+// Register makes a payload type encodable on the wire; applications call
+// it for their own job payload and result types (gob.Register rules
+// apply).
+func Register(v any) { gob.Register(v) }
+
+// Server hosts a broker and serves remote endpoints.
+type Server struct {
+	bus *broker.Broker
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// Serve starts a broker server on addr (e.g. ":7070"). The broker runs
+// on a real-time clock; per-endpoint link latencies declared in hello
+// frames are honoured on top of actual network latency.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		bus:   broker.New(vclock.NewReal()),
+		ln:    ln,
+		conns: make(map[net.Conn]bool),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and drops all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+
+	var hello frame
+	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello || hello.Name == "" {
+		return
+	}
+	ep, ok := s.bus.Lookup(hello.Name)
+	if ok {
+		// Reconnect of a known endpoint name: resume delivery.
+		ep.Reconnect()
+	} else {
+		ep = s.bus.Register(hello.Name, hello.Link)
+	}
+
+	// Pump deliveries to the client.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			v, ok := ep.Inbox().Recv()
+			if !ok {
+				return
+			}
+			env, ok := v.(broker.Envelope)
+			if !ok {
+				continue
+			}
+			encMu.Lock()
+			err := enc.Encode(frame{Kind: kindDelivery, Env: env})
+			encMu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			ep.Disconnect()
+			return
+		}
+		switch f.Kind {
+		case kindSend:
+			ep.Send(f.To, f.Payload)
+		case kindPublish:
+			n := ep.Publish(f.Topic, f.Payload)
+			encMu.Lock()
+			err := enc.Encode(frame{Kind: kindPubAck, Seq: f.Seq, Count: n})
+			encMu.Unlock()
+			if err != nil {
+				ep.Disconnect()
+				return
+			}
+		case kindSubscribe:
+			ep.Subscribe(f.Topic)
+		case kindUnsubscribe:
+			ep.Unsubscribe(f.Topic)
+		}
+	}
+}
+
+// Client is a remote endpoint: it implements engine.Port over a TCP
+// connection to a Server.
+type Client struct {
+	name  string
+	conn  net.Conn
+	inbox vclock.Mailbox
+
+	mu     sync.Mutex
+	enc    *gob.Encoder
+	seq    uint64
+	acks   map[uint64]chan int
+	closed bool
+}
+
+// Dial connects to a broker server and registers the named endpoint.
+// The inbox is created on clk, so the engine's mailbox discipline is
+// preserved; clk is typically a real-time clock in deployments.
+func Dial(addr, name string, link time.Duration, clk vclock.Clock) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		name:  name,
+		conn:  conn,
+		inbox: clk.NewMailbox("inbox:" + name),
+		enc:   gob.NewEncoder(conn),
+		acks:  make(map[uint64]chan int),
+	}
+	if err := c.encode(frame{Kind: kindHello, Name: name, Link: link}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	go c.recvLoop()
+	return c, nil
+}
+
+func (c *Client) encode(f frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("transport: client closed")
+	}
+	return c.enc.Encode(f)
+}
+
+func (c *Client) recvLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			c.Close()
+			return
+		}
+		switch f.Kind {
+		case kindDelivery:
+			c.inbox.Send(f.Env)
+		case kindPubAck:
+			c.mu.Lock()
+			ch := c.acks[f.Seq]
+			delete(c.acks, f.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f.Count
+			}
+		}
+	}
+}
+
+// Close tears the connection down and closes the inbox.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for seq, ch := range c.acks {
+		close(ch)
+		delete(c.acks, seq)
+	}
+	c.mu.Unlock()
+	c.inbox.Close()
+	return c.conn.Close()
+}
+
+// Name implements engine.Port.
+func (c *Client) Name() string { return c.name }
+
+// Inbox implements engine.Port.
+func (c *Client) Inbox() vclock.Mailbox { return c.inbox }
+
+// Send implements engine.Port. Delivery is asynchronous; false means the
+// local connection is already closed.
+func (c *Client) Send(to string, payload any) bool {
+	return c.encode(frame{Kind: kindSend, To: to, Payload: payload}) == nil
+}
+
+// Publish implements engine.Port: it blocks for the server's subscriber
+// count (the bidding master sizes contests with it).
+func (c *Client) Publish(topic string, payload any) int {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0
+	}
+	c.seq++
+	seq := c.seq
+	ch := make(chan int, 1)
+	c.acks[seq] = ch
+	err := c.enc.Encode(frame{Kind: kindPublish, Seq: seq, Topic: topic, Payload: payload})
+	c.mu.Unlock()
+	if err != nil {
+		return 0
+	}
+	select {
+	case n := <-ch:
+		return n
+	case <-time.After(10 * time.Second):
+		c.mu.Lock()
+		delete(c.acks, seq)
+		c.mu.Unlock()
+		return 0
+	}
+}
+
+// Subscribe implements engine.Port.
+func (c *Client) Subscribe(topic string) {
+	c.encode(frame{Kind: kindSubscribe, Topic: topic})
+}
+
+// Unsubscribe stops topic deliveries.
+func (c *Client) Unsubscribe(topic string) {
+	c.encode(frame{Kind: kindUnsubscribe, Topic: topic})
+}
+
+// Interface checks.
+var _ engine.Port = (*Client)(nil)

@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/core"
+	"crossflow/internal/engine"
+	"crossflow/internal/netsim"
+	"crossflow/internal/vclock"
+)
+
+// waitRegistered blocks until the server has processed the endpoints'
+// hello frames (Dial only guarantees the frame was written).
+func waitRegistered(t *testing.T, srv *Server, names ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range names {
+			if _, ok := srv.bus.Lookup(n); !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("endpoints %v never registered", names)
+}
+
+func TestClientServerBasicDelivery(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clk := vclock.NewReal()
+	a, err := Dial(srv.Addr(), "a", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(srv.Addr(), "b", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if a.Name() != "a" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	waitRegistered(t, srv, "a", "b")
+	if !a.Send("b", engine.MsgRegister{Worker: "a"}) {
+		t.Fatal("Send failed")
+	}
+	v, ok, timedOut := b.Inbox().RecvTimeout(5 * time.Second)
+	if !ok || timedOut {
+		t.Fatal("delivery never arrived")
+	}
+	env := v.(broker.Envelope)
+	if env.From != "a" || env.Payload.(engine.MsgRegister).Worker != "a" {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+func TestPublishReturnsSubscriberCount(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+
+	pub, _ := Dial(srv.Addr(), "pub", 0, clk)
+	defer pub.Close()
+	subs := make([]*Client, 3)
+	for i := range subs {
+		c, err := Dial(srv.Addr(), fmt.Sprintf("sub%d", i), 0, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.Subscribe("news")
+		subs[i] = c
+	}
+	// Subscriptions race the publish; wait for all to take effect.
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for time.Now().Before(deadline) {
+		if n = pub.Publish("news", engine.MsgStop{}); n == 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n != 3 {
+		t.Fatalf("Publish reached %d subscribers, want 3", n)
+	}
+	for i, c := range subs {
+		if _, ok, timedOut := c.Inbox().RecvTimeout(5 * time.Second); !ok || timedOut {
+			t.Errorf("subscriber %d never received", i)
+		}
+	}
+	subs[0].Unsubscribe("news")
+	time.Sleep(20 * time.Millisecond)
+	if n := pub.Publish("news", engine.MsgStop{}); n != 2 {
+		t.Errorf("after unsubscribe Publish reached %d, want 2", n)
+	}
+}
+
+func TestClosedClientOperationsFailGracefully(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), "x", 0, vclock.NewReal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
+	if c.Send("y", engine.MsgStop{}) {
+		t.Error("Send on closed client succeeded")
+	}
+	if n := c.Publish("t", engine.MsgStop{}); n != 0 {
+		t.Errorf("Publish on closed client = %d", n)
+	}
+	if _, ok := c.Inbox().Recv(); ok {
+		t.Error("closed client inbox still open")
+	}
+}
+
+// TestDistributedWorkflow runs the full engine over real TCP: a broker
+// server, a master port, and two worker ports, all in one process but
+// communicating only through the wire.
+func TestDistributedWorkflow(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewScaledReal(1000) // 1000x compressed time
+
+	wf := engine.NewWorkflow("dist")
+	wf.MustAddTask(engine.TaskSpec{Name: "analyze", Input: "work"})
+
+	arrivals := make([]engine.Arrival, 6)
+	for i := range arrivals {
+		arrivals[i] = engine.Arrival{Job: &engine.Job{
+			ID:         fmt.Sprintf("j%d", i),
+			Stream:     "work",
+			DataKey:    fmt.Sprintf("r%d", i%3),
+			DataSizeMB: 200,
+		}}
+	}
+
+	masterPort, err := Dial(srv.Addr(), engine.MasterName, 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer masterPort.Close()
+	master := engine.NewMaster(clk, masterPort, core.NewBidding(), wf, arrivals, 2, 1)
+	clk.Go(master.Run)
+	waitRegistered(t, srv, engine.MasterName)
+
+	states := make([]*engine.WorkerState, 2)
+	for i := range states {
+		states[i] = engine.NewWorkerState(engine.WorkerSpec{
+			Name: fmt.Sprintf("w%d", i),
+			Net:  netsim.Speed{BaseMBps: 100},
+			RW:   netsim.Speed{BaseMBps: 400},
+			Seed: int64(i + 1),
+		}, nil)
+		port, err := Dial(srv.Addr(), states[i].Spec.Name, 0, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer port.Close()
+		engine.NewWorker(clk, port, wf, states[i], nil, core.NewBiddingAgent()).Start()
+	}
+
+	done := make(chan *engine.Report, 1)
+	go func() {
+		clk.Wait()
+		done <- master.Report()
+	}()
+	select {
+	case rep := <-done:
+		if rep.JobsCompleted != 6 {
+			t.Errorf("JobsCompleted = %d, want 6", rep.JobsCompleted)
+		}
+		if rep.Contests != 6 {
+			t.Errorf("Contests = %d, want 6", rep.Contests)
+		}
+		if rep.Makespan <= 0 {
+			t.Errorf("Makespan = %v", rep.Makespan)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("distributed workflow never completed")
+	}
+}
+
+func TestServerEndpointReconnect(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+	c1, err := Dial(srv.Addr(), "node", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	time.Sleep(20 * time.Millisecond) // let the server notice
+	c2, err := Dial(srv.Addr(), "node", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	other, err := Dial(srv.Addr(), "other", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	ok := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if other.Send("node", engine.MsgStop{}) {
+			if _, got, timedOut := c2.Inbox().RecvTimeout(200 * time.Millisecond); got && !timedOut {
+				ok = true
+				break
+			}
+		}
+	}
+	if !ok {
+		t.Error("reconnected endpoint never received")
+	}
+}
+
+// TestWireRoundTripAllMessages pushes every engine protocol message
+// through a live connection, guarding the gob registrations.
+func TestWireRoundTripAllMessages(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+	a, err := Dial(srv.Addr(), "a", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(srv.Addr(), "b", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	waitRegistered(t, srv, "a", "b")
+
+	job := &engine.Job{ID: "j", Stream: "s", DataKey: "k", DataSizeMB: 12.5,
+		ComputeMB: 3, CostHint: time.Second}
+	payloads := []any{
+		engine.MsgRegister{Worker: "a"},
+		engine.MsgRegisterAck{},
+		engine.MsgBidRequest{Job: job},
+		engine.MsgBid{JobID: "j", Worker: "a", Estimate: time.Second, JobCost: time.Second / 2, Local: true},
+		engine.MsgAssign{Job: job, EstimatedCost: time.Minute},
+		engine.MsgOffer{Job: job},
+		engine.MsgAccept{JobID: "j", Worker: "a"},
+		engine.MsgReject{JobID: "j", Worker: "a"},
+		engine.MsgRequestJob{Worker: "a", CachedKeys: []string{"k1", "k2"}, Strikes: 1},
+		engine.MsgNoWork{Backoff: time.Second},
+		engine.MsgJobDone{JobID: "j", Worker: "a", NewJobs: []*engine.Job{job}, Failed: true, Error: "x"},
+		engine.MsgEmit{Job: job, Worker: "a"},
+		engine.MsgStop{},
+		engine.MsgWorkerDead{Worker: "a"},
+	}
+	for i, payload := range payloads {
+		if !a.Send("b", payload) {
+			t.Fatalf("payload %d: send failed", i)
+		}
+		v, ok, timedOut := b.Inbox().RecvTimeout(5 * time.Second)
+		if !ok || timedOut {
+			t.Fatalf("payload %d (%T): never delivered", i, payload)
+		}
+		env := v.(broker.Envelope)
+		if fmt.Sprintf("%T", env.Payload) != fmt.Sprintf("%T", payload) {
+			t.Fatalf("payload %d: type %T became %T", i, payload, env.Payload)
+		}
+	}
+	// Spot-check deep fields survive.
+	a.Send("b", engine.MsgAssign{Job: job, EstimatedCost: time.Minute})
+	v, _, _ := b.Inbox().RecvTimeout(5 * time.Second)
+	got := v.(broker.Envelope).Payload.(engine.MsgAssign)
+	if got.Job.DataSizeMB != 12.5 || got.Job.CostHint != time.Second || got.EstimatedCost != time.Minute {
+		t.Errorf("MsgAssign fields lost: %+v", got)
+	}
+}

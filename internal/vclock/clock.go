@@ -1,0 +1,117 @@
+// Package vclock provides the time kernel used by every other subsystem.
+//
+// Two implementations of the Clock interface exist:
+//
+//   - Sim, a discrete-event simulated clock. Goroutines registered with
+//     Sim.Go are tracked; when every tracked goroutine is blocked in a
+//     clock-mediated wait (Sleep, timer, or Mailbox receive), the clock
+//     jumps straight to the earliest pending deadline. Hours of simulated
+//     activity therefore execute in milliseconds, and runs are repeatable
+//     under seeded randomness.
+//
+//   - Real, a thin wrapper over package time with an optional scale
+//     factor, used when the engine runs as an actual distributed process
+//     over TCP.
+//
+// Everything in the engine that waits — worker compute delays, network
+// transfer times, the bidding window, broker delivery latency — waits
+// through a Clock, which is what lets the same engine code run simulated
+// and live.
+package vclock
+
+import "time"
+
+// Clock abstracts the passage of time for the simulation engine.
+//
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+
+	// Sleep blocks the calling goroutine for duration d of clock time.
+	// Non-positive durations yield without advancing time.
+	Sleep(d time.Duration)
+
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed. The channel has capacity 1, so the timer goroutine (or the
+	// simulated equivalent) never blocks on delivery.
+	After(d time.Duration) <-chan time.Time
+
+	// AfterFunc schedules f to run in its own goroutine after d has
+	// elapsed. The returned Timer can cancel the call before it fires.
+	AfterFunc(d time.Duration, f func()) *Timer
+
+	// Since returns the clock time elapsed since t.
+	Since(t time.Time) time.Duration
+
+	// NewMailbox returns an unbounded FIFO queue whose blocking receive
+	// is integrated with this clock. The name appears in diagnostics.
+	NewMailbox(name string) Mailbox
+
+	// Go starts fn as a goroutine tracked by this clock. On a simulated
+	// clock, only tracked goroutines may call Sleep or Mailbox.Recv.
+	Go(fn func())
+
+	// Wait blocks the caller until every goroutine started with Go has
+	// exited (and, on a simulated clock, no timers remain). It returns
+	// the clock time at that point. Wait must be called from outside the
+	// tracked goroutines.
+	Wait() time.Time
+
+	// WaitTime blocks until a channel previously returned by After on
+	// this clock delivers, and returns the delivered time. On a simulated
+	// clock this is the only safe way for a tracked goroutine to consume
+	// an After channel.
+	WaitTime(ch <-chan time.Time) time.Time
+}
+
+// Mailbox is an unbounded FIFO message queue. Send never blocks; Recv
+// blocks through the owning clock, so simulated time can advance while a
+// goroutine waits. It is the only blocking primitive (besides
+// Clock.Sleep) that tracked simulation goroutines may use.
+type Mailbox interface {
+	// Name returns the diagnostic name given at creation.
+	Name() string
+
+	// Send enqueues v. It reports false (dropping v) if the mailbox is
+	// closed. Send never blocks.
+	Send(v any) bool
+
+	// Recv dequeues the oldest message, blocking until one is available.
+	// It reports false once the mailbox is closed and drained.
+	Recv() (v any, ok bool)
+
+	// RecvTimeout is Recv bounded by d of clock time. timedOut reports
+	// whether the deadline expired before a message arrived.
+	RecvTimeout(d time.Duration) (v any, ok bool, timedOut bool)
+
+	// TryRecv dequeues a message if one is immediately available.
+	TryRecv() (v any, ok bool)
+
+	// Close marks the mailbox closed and wakes all blocked receivers.
+	// Messages already queued can still be received.
+	Close()
+
+	// Len returns the number of queued messages.
+	Len() int
+}
+
+// Timer is a cancellable pending call created by Clock.AfterFunc.
+type Timer struct {
+	// stop attempts to cancel the pending call. It reports whether the
+	// call was cancelled before firing.
+	stop func() bool
+}
+
+// Stop cancels the timer. It reports true if the call was prevented from
+// running, false if it already fired or was previously stopped.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// Epoch is the instant at which every simulated clock starts. Using a
+// fixed epoch keeps simulated timestamps reproducible across runs.
+var Epoch = time.Date(2023, time.November, 12, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,185 @@
+package vclock
+
+import "time"
+
+// mbWaiter is one goroutine parked in a mailbox receive. The waker (a
+// sender, the close path, or a timeout event) fills in the outcome and
+// signals ch; ownership of the "runnable" credit transfers with the
+// signal, so simulated time can never advance past a delivery in flight.
+type mbWaiter struct {
+	ch       chan struct{}
+	item     any
+	ok       bool
+	timedOut bool
+	done     bool // set by whichever path wakes the waiter first
+	tag      uint64
+}
+
+// simMailbox implements Mailbox for the simulated clock. All state is
+// guarded by the clock's global mutex, which is what allows timer events
+// (fired with that mutex held) to deliver timeouts directly.
+type simMailbox struct {
+	s      *Sim
+	name   string
+	queue  []any
+	waitq  []*mbWaiter
+	closed bool
+}
+
+// NewMailbox returns a mailbox whose blocking receive participates in
+// simulated-time advancement.
+func (s *Sim) NewMailbox(name string) Mailbox {
+	return &simMailbox{s: s, name: name}
+}
+
+func (m *simMailbox) Name() string { return m.name }
+
+func (m *simMailbox) Send(v any) bool {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	if w := m.popWaiterLocked(); w != nil {
+		w.item = v
+		w.ok = true
+		m.wakeLocked(w)
+		return true
+	}
+	m.queue = append(m.queue, v)
+	return true
+}
+
+func (m *simMailbox) Recv() (any, bool) {
+	m.s.mu.Lock()
+	if len(m.queue) > 0 {
+		v := m.dequeueLocked()
+		m.s.mu.Unlock()
+		return v, true
+	}
+	if m.closed {
+		m.s.mu.Unlock()
+		return nil, false
+	}
+	w := m.parkLocked()
+	m.s.mu.Unlock()
+	<-w.ch
+	return w.item, w.ok
+}
+
+func (m *simMailbox) RecvTimeout(d time.Duration) (any, bool, bool) {
+	m.s.mu.Lock()
+	if len(m.queue) > 0 {
+		v := m.dequeueLocked()
+		m.s.mu.Unlock()
+		return v, true, false
+	}
+	if m.closed {
+		m.s.mu.Unlock()
+		return nil, false, false
+	}
+	if d <= 0 {
+		m.s.mu.Unlock()
+		return nil, false, true
+	}
+	w := m.registerLocked()
+	// Schedule the timeout before releasing the runnable credit: parking
+	// with no pending wake-up would be (mis)diagnosed as a deadlock.
+	m.s.scheduleLocked(d, func() {
+		if w.done {
+			return
+		}
+		m.removeWaiterLocked(w)
+		w.timedOut = true
+		m.wakeLocked(w)
+	})
+	m.s.blockLocked()
+	m.s.mu.Unlock()
+	<-w.ch
+	return w.item, w.ok, w.timedOut
+}
+
+func (m *simMailbox) TryRecv() (any, bool) {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	return m.dequeueLocked(), true
+}
+
+func (m *simMailbox) Close() {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, w := range m.waitq {
+		w.ok = false
+		m.wakeLocked(w)
+	}
+	m.waitq = nil
+}
+
+func (m *simMailbox) Len() int {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	return len(m.queue)
+}
+
+// registerLocked enqueues the calling goroutine as a blocked receiver
+// without yet releasing its runnable credit; the caller must arrange any
+// wake-up timer and then call blockLocked before unlocking.
+func (m *simMailbox) registerLocked() *mbWaiter {
+	w := &mbWaiter{ch: make(chan struct{}, 1), tag: m.s.tagLocked("recv:" + m.name)}
+	m.waitq = append(m.waitq, w)
+	return w
+}
+
+// parkLocked registers the calling goroutine as a blocked receiver and
+// releases its runnable credit. The caller must receive on the returned
+// waiter's channel after unlocking.
+func (m *simMailbox) parkLocked() *mbWaiter {
+	w := m.registerLocked()
+	m.s.blockLocked()
+	return w
+}
+
+// wakeLocked hands the runnable credit back to waiter w and signals it.
+// Must be called with the clock lock held; w must not already be done.
+func (m *simMailbox) wakeLocked(w *mbWaiter) {
+	w.done = true
+	m.s.running++
+	m.s.waiters--
+	delete(m.s.waitTags, w.tag)
+	w.ch <- struct{}{}
+}
+
+func (m *simMailbox) popWaiterLocked() *mbWaiter {
+	if len(m.waitq) == 0 {
+		return nil
+	}
+	w := m.waitq[0]
+	m.waitq[0] = nil
+	m.waitq = m.waitq[1:]
+	return w
+}
+
+func (m *simMailbox) removeWaiterLocked(target *mbWaiter) {
+	for i, w := range m.waitq {
+		if w == target {
+			copy(m.waitq[i:], m.waitq[i+1:])
+			m.waitq[len(m.waitq)-1] = nil
+			m.waitq = m.waitq[:len(m.waitq)-1]
+			return
+		}
+	}
+}
+
+func (m *simMailbox) dequeueLocked() any {
+	v := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	return v
+}

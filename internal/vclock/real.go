@@ -1,0 +1,92 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is a Clock backed by the operating-system clock. A Scale factor
+// greater than one compresses time: Sleep(10s) with Scale 100 blocks for
+// 100ms of wall time while Now advances by the full ten seconds. This
+// lets the live TCP deployment replay long workflows quickly without
+// touching engine code.
+type Real struct {
+	scale float64
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	base  time.Time // wall instant at which the clock was created
+	start time.Time // reported instant corresponding to base
+}
+
+// NewReal returns a real-time clock running at normal speed.
+func NewReal() *Real { return NewScaledReal(1) }
+
+// NewScaledReal returns a real-time clock that runs scale times faster
+// than wall time. Scale values below or equal to zero are treated as 1.
+func NewScaledReal(scale float64) *Real {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Real{scale: scale, base: time.Now(), start: Epoch}
+}
+
+// Now returns the scaled current time.
+func (r *Real) Now() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	elapsed := time.Since(r.base)
+	return r.start.Add(time.Duration(float64(elapsed) * r.scale))
+}
+
+// Sleep blocks for d of clock time (d/scale of wall time).
+func (r *Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(r.wall(d))
+}
+
+// After returns a channel delivering the clock time after d has elapsed.
+func (r *Real) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	time.AfterFunc(r.wall(d), func() { ch <- r.Now() })
+	return ch
+}
+
+// AfterFunc runs f in its own goroutine after d of clock time.
+func (r *Real) AfterFunc(d time.Duration, f func()) *Timer {
+	t := time.AfterFunc(r.wall(d), f)
+	return &Timer{stop: t.Stop}
+}
+
+// Since returns the clock time elapsed since t.
+func (r *Real) Since(t time.Time) time.Duration { return r.Now().Sub(t) }
+
+// Go starts fn as a goroutine joined by Wait.
+func (r *Real) Go(fn func()) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until every goroutine started with Go has exited.
+func (r *Real) Wait() time.Time {
+	r.wg.Wait()
+	return r.Now()
+}
+
+// WaitTime blocks until ch delivers and returns the delivered time.
+func (r *Real) WaitTime(ch <-chan time.Time) time.Time { return <-ch }
+
+func (r *Real) wall(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	w := time.Duration(float64(d) / r.scale)
+	if w <= 0 {
+		w = time.Nanosecond
+	}
+	return w
+}

@@ -1,0 +1,162 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	r := NewReal()
+	a := r.Now()
+	time.Sleep(5 * time.Millisecond)
+	if !r.Now().After(a) {
+		t.Error("Now did not advance")
+	}
+}
+
+func TestRealScaledSleepIsFaster(t *testing.T) {
+	r := NewScaledReal(1000)
+	start := time.Now()
+	r.Sleep(2 * time.Second) // 2ms of wall time
+	if wall := time.Since(start); wall > 500*time.Millisecond {
+		t.Errorf("scaled sleep took %v of wall time", wall)
+	}
+}
+
+func TestRealScaledNow(t *testing.T) {
+	r := NewScaledReal(1000)
+	a := r.Now()
+	time.Sleep(10 * time.Millisecond)
+	if elapsed := r.Since(a); elapsed < 5*time.Second {
+		t.Errorf("scaled clock advanced only %v in 10ms wall", elapsed)
+	}
+}
+
+func TestRealInvalidScaleDefaultsToOne(t *testing.T) {
+	r := NewScaledReal(-3)
+	if r.scale != 1 {
+		t.Errorf("scale = %v, want 1", r.scale)
+	}
+}
+
+func TestRealAfterAndWaitTime(t *testing.T) {
+	r := NewScaledReal(1000)
+	got := r.WaitTime(r.After(time.Second))
+	if got.IsZero() {
+		t.Error("WaitTime returned zero time")
+	}
+}
+
+func TestRealAfterFuncAndStop(t *testing.T) {
+	r := NewReal()
+	fired := make(chan struct{})
+	r.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+	tm := r.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !tm.Stop() {
+		t.Error("Stop = false for pending timer")
+	}
+}
+
+func TestRealGoWait(t *testing.T) {
+	r := NewReal()
+	done := false
+	r.Go(func() {
+		time.Sleep(2 * time.Millisecond)
+		done = true
+	})
+	r.Wait()
+	if !done {
+		t.Error("Wait returned before goroutine finished")
+	}
+}
+
+func TestRealMailboxBasics(t *testing.T) {
+	r := NewReal()
+	mb := r.NewMailbox("real")
+	if mb.Name() != "real" {
+		t.Errorf("Name = %q", mb.Name())
+	}
+	mb.Send(1)
+	mb.Send(2)
+	if mb.Len() != 2 {
+		t.Errorf("Len = %d", mb.Len())
+	}
+	if v, ok := mb.Recv(); !ok || v.(int) != 1 {
+		t.Errorf("Recv = %v, %v", v, ok)
+	}
+	if v, ok := mb.TryRecv(); !ok || v.(int) != 2 {
+		t.Errorf("TryRecv = %v, %v", v, ok)
+	}
+	if _, ok := mb.TryRecv(); ok {
+		t.Error("TryRecv on empty = true")
+	}
+}
+
+func TestRealMailboxBlockingHandoff(t *testing.T) {
+	r := NewReal()
+	mb := r.NewMailbox("handoff")
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		mb.Send("v")
+	}()
+	if v, ok := mb.Recv(); !ok || v.(string) != "v" {
+		t.Errorf("Recv = %v, %v", v, ok)
+	}
+}
+
+func TestRealMailboxRecvTimeout(t *testing.T) {
+	r := NewReal()
+	mb := r.NewMailbox("timeout")
+	start := time.Now()
+	_, ok, timedOut := mb.RecvTimeout(5 * time.Millisecond)
+	if ok || !timedOut {
+		t.Errorf("RecvTimeout = ok %v timedOut %v", ok, timedOut)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("timeout took far too long")
+	}
+	go func() {
+		time.Sleep(time.Millisecond)
+		mb.Send(7)
+	}()
+	v, ok, timedOut := mb.RecvTimeout(time.Second)
+	if !ok || timedOut || v.(int) != 7 {
+		t.Errorf("RecvTimeout = %v %v %v", v, ok, timedOut)
+	}
+	if _, _, timedOut := mb.RecvTimeout(0); !timedOut {
+		t.Error("RecvTimeout(0) on empty should time out")
+	}
+}
+
+func TestRealMailboxClose(t *testing.T) {
+	r := NewReal()
+	mb := r.NewMailbox("close")
+	okc := make(chan bool, 1)
+	go func() {
+		_, ok := mb.Recv()
+		okc <- ok
+	}()
+	time.Sleep(2 * time.Millisecond)
+	mb.Close()
+	if <-okc {
+		t.Error("Recv after Close returned ok=true")
+	}
+	if mb.Send("x") {
+		t.Error("Send after Close = true")
+	}
+	if _, ok, _ := mb.RecvTimeout(time.Millisecond); ok {
+		t.Error("RecvTimeout on closed = ok")
+	}
+	mb.Close() // idempotent
+}
+
+// Both implementations must satisfy the interfaces.
+var (
+	_ Clock = (*Sim)(nil)
+	_ Clock = (*Real)(nil)
+)

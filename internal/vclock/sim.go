@@ -1,0 +1,296 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sim is a discrete-event simulated clock.
+//
+// Goroutines participating in the simulation must be started with
+// Sim.Go; the clock counts how many of them are runnable. Whenever every
+// tracked goroutine is blocked in a clock-mediated wait (Sleep, a timer,
+// or a Mailbox receive), the clock advances directly to the earliest
+// pending deadline and fires it. Simulated time therefore never passes
+// while any tracked goroutine has work to do, and passes instantly when
+// none does.
+//
+// Tracked goroutines must not block on plain Go channels or mutexes held
+// across waits; all blocking must go through the clock (Sleep, Mailbox,
+// AfterFunc). Code outside the simulation synchronizes with it through
+// Sim.Wait, which blocks until every tracked goroutine has exited.
+type Sim struct {
+	mu       sync.Mutex
+	done     sync.Cond // broadcast when the simulation becomes fully idle
+	now      time.Time
+	running  int // tracked goroutines currently runnable
+	waiters  int // tracked goroutines blocked in clock waits
+	timers   timerHeap
+	seq      uint64
+	waitTags map[uint64]string // active wait labels, for deadlock reports
+	tagSeq   uint64
+
+	// onDeadlock, if set, is invoked (with the lock released) instead of
+	// panicking when the simulation deadlocks: every tracked goroutine is
+	// blocked and no timer is pending. Intended for tests.
+	onDeadlock func(waiting []string)
+	deadlocked bool
+}
+
+// NewSim returns a simulated clock positioned at Epoch.
+func NewSim() *Sim {
+	s := &Sim{now: Epoch, waitTags: make(map[uint64]string)}
+	s.done.L = &s.mu
+	return s
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since returns the simulated time elapsed since t.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Go starts fn as a tracked simulation goroutine.
+func (s *Sim) Go(fn func()) {
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	go func() {
+		defer s.exit()
+		fn()
+	}()
+}
+
+func (s *Sim) exit() {
+	s.mu.Lock()
+	s.running--
+	s.maybeAdvanceLocked()
+	s.mu.Unlock()
+}
+
+// Sleep blocks the calling tracked goroutine for d of simulated time.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.mu.Lock()
+	tag := s.tagLocked("sleep")
+	s.scheduleLocked(d, func() {
+		s.running++
+		s.waiters--
+		delete(s.waitTags, tag)
+		close(ch)
+	})
+	s.blockLocked()
+	s.mu.Unlock()
+	<-ch
+}
+
+// After returns a channel that delivers the simulated time after d.
+//
+// In simulated mode the channel must be consumed through WaitTime (or by
+// an untracked goroutine); a tracked goroutine receiving from it directly
+// would block invisibly to the clock and stall the simulation.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	s.mu.Lock()
+	s.scheduleLocked(d, func() {
+		s.running++ // wake credit claimed by WaitTime
+		ch <- s.now
+	})
+	s.mu.Unlock()
+	return ch
+}
+
+// WaitTime blocks the calling tracked goroutine until ch (obtained from
+// After on this clock) delivers, and returns the delivered time.
+func (s *Sim) WaitTime(ch <-chan time.Time) time.Time {
+	s.mu.Lock()
+	tag := s.tagLocked("wait-time")
+	s.blockLocked()
+	s.mu.Unlock()
+	t := <-ch
+	s.mu.Lock()
+	s.waiters--
+	delete(s.waitTags, tag)
+	s.mu.Unlock()
+	return t
+}
+
+// AfterFunc schedules f to run as a new tracked goroutine after d of
+// simulated time. The returned Timer can cancel the call.
+func (s *Sim) AfterFunc(d time.Duration, f func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cancelled := false
+	fired := false
+	s.scheduleLocked(d, func() {
+		if cancelled {
+			return
+		}
+		fired = true
+		s.running++
+		go func() {
+			defer s.exit()
+			f()
+		}()
+	})
+	return &Timer{stop: func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if fired || cancelled {
+			return false
+		}
+		cancelled = true
+		return true
+	}}
+}
+
+// scheduleLocked queues fire to run, with the clock lock held, once d has
+// elapsed. fire must not block and must not re-lock the clock.
+func (s *Sim) scheduleLocked(d time.Duration, fire func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.timers, &timerEvent{when: s.now.Add(d), seq: s.seq, fire: fire})
+}
+
+// blockLocked transitions the calling goroutine from runnable to waiting
+// and advances time if the simulation has gone idle. The caller must
+// already have registered its wake-up (timer or mailbox waiter) and must
+// park on its own channel after releasing the lock.
+func (s *Sim) blockLocked() {
+	s.running--
+	s.waiters++
+	s.maybeAdvanceLocked()
+}
+
+// maybeAdvanceLocked advances simulated time while no tracked goroutine
+// is runnable. Each fired event may make a goroutine runnable again,
+// which stops the advance.
+func (s *Sim) maybeAdvanceLocked() {
+	for s.running == 0 {
+		if s.timers.Len() == 0 {
+			// Fully idle: either the simulation has finished (no waiters)
+			// or it has deadlocked. Either way, wake Wait callers.
+			s.done.Broadcast()
+			if s.waiters > 0 {
+				s.deadlockLocked()
+			}
+			return
+		}
+		ev := heap.Pop(&s.timers).(*timerEvent)
+		if ev.when.After(s.now) {
+			s.now = ev.when
+		}
+		ev.fire()
+	}
+}
+
+func (s *Sim) deadlockLocked() {
+	if s.deadlocked {
+		return // report once
+	}
+	s.deadlocked = true
+	waiting := make([]string, 0, len(s.waitTags))
+	for _, tag := range s.waitTags {
+		waiting = append(waiting, tag)
+	}
+	sort.Strings(waiting)
+	if h := s.onDeadlock; h != nil {
+		s.running++ // keep the clock from re-entering while the handler runs
+		go func() {
+			defer s.exit()
+			h(waiting)
+		}()
+		return
+	}
+	panic(fmt.Sprintf("vclock: simulation deadlock: %d goroutines blocked with no pending timers: %v",
+		s.waiters, waiting))
+}
+
+// SetDeadlockHandler installs h to be called instead of panicking when
+// the simulation deadlocks. Pass nil to restore the panicking default.
+func (s *Sim) SetDeadlockHandler(h func(waiting []string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onDeadlock = h
+}
+
+// Wait blocks the (untracked) caller until the simulation is fully idle:
+// all tracked goroutines have exited and no timers remain. It returns the
+// final simulated time.
+func (s *Sim) Wait() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A deadlocked simulation never becomes idle, but once its handler
+	// goroutine (counted in running) finishes there is nothing to wait
+	// for. Waiters and timers are otherwise drained by the advance loop.
+	for s.running > 0 || ((s.waiters > 0 || s.timers.Len() > 0) && !s.deadlocked) {
+		s.done.Wait()
+	}
+	return s.now
+}
+
+// Deadlocked reports whether the simulation has detected a deadlock.
+func (s *Sim) Deadlocked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadlocked
+}
+
+func (s *Sim) tagLocked(kind string) uint64 {
+	s.tagSeq++
+	s.waitTags[s.tagSeq] = fmt.Sprintf("%s#%d@%s", kind, s.tagSeq, s.now.Format("15:04:05.000"))
+	return s.tagSeq
+}
+
+// timerEvent is one pending clock event. Events at equal deadlines fire
+// in scheduling order, keeping runs reproducible.
+type timerEvent struct {
+	when  time.Time
+	seq   uint64
+	index int
+	fire  func()
+}
+
+type timerHeap []*timerEvent
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	ev := x.(*timerEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
