@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -55,8 +56,9 @@ func main() {
 	defer port.Close()
 
 	arrivals := workload.Generate(jc, workload.Options{Jobs: *jobs, Seed: *seed})
+	rng := rand.New(rand.NewSource(*seed))
 	master := engine.NewMaster(clk, port, pol.NewAllocator(), workload.Workflow(),
-		arrivals, *workers, *seed)
+		arrivals, *workers, rng)
 	fmt.Printf("xflow-master: %s scheduler, %d jobs (%s), waiting for %d workers…\n",
 		pol.Name, *jobs, jc, *workers)
 

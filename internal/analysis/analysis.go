@@ -1,0 +1,305 @@
+// Package analysis implements xflow-vet, crossflow's project-specific
+// static-analysis pass. The determinism story of the whole reproduction
+// — that a simulated run is repeatable bit-for-bit and that simulated
+// and live execution share one engine — rests on invariants of the
+// internal/vclock time kernel that the compiler cannot enforce:
+//
+//   - all waiting goes through vclock.Clock (never package time),
+//   - all goroutines are started through Clock.Go (never a bare go
+//     statement), so the simulated clock can tell "everyone is blocked"
+//     from "someone is still running",
+//   - all randomness flows through seeded *rand.Rand values (never the
+//     global math/rand generator),
+//   - no blocking operation happens while holding a mutex (a deadlock
+//     the discrete-event clock turns fatal: time cannot advance while a
+//     tracked goroutine is blocked outside the clock),
+//   - errors are not silently dropped inside internal packages.
+//
+// Each invariant is checked by one Analyzer. The driver (Check) loads
+// every package in the module with go/parser + go/types — stdlib only,
+// no external dependencies — runs the analyzers, and reports findings
+// as "file:line:col: [rule] message".
+//
+// A finding can be suppressed by placing a
+//
+//	//xflow:allow <rule>[,<rule>...] [reason]
+//
+// comment on the offending line or on the line directly above it.
+// Suppressions should carry a justification; they are for the rare
+// sites that are genuinely exempt (e.g. wall-clock instrumentation in a
+// benchmark harness), not for silencing real violations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import path of the module this tool vets. The
+// analyzers key their package scoping off it.
+const ModulePath = "crossflow"
+
+// clockMediated lists the packages whose code runs on a vclock.Clock
+// and therefore must never touch package time or start bare goroutines.
+// internal/vclock itself and internal/transport are deliberately
+// absent: the former implements the clock, the latter bridges to real
+// TCP deployments and owns its wall-time waits.
+var clockMediated = map[string]bool{
+	ModulePath + "/internal/engine":      true,
+	ModulePath + "/internal/core":        true,
+	ModulePath + "/internal/broker":      true,
+	ModulePath + "/internal/gitsim":      true,
+	ModulePath + "/internal/netsim":      true,
+	ModulePath + "/internal/msr":         true,
+	ModulePath + "/internal/cluster":     true,
+	ModulePath + "/internal/experiments": true,
+}
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the package's parsed sources (tests excluded).
+	Files []*ast.File
+	// PkgPath is the package's import path; the package-scoped
+	// analyzers (walltime, untrackedgo, lockedsend) consult it.
+	PkgPath string
+	// Pkg and Info hold type information. Info may be partially
+	// populated when an import could not be fully resolved; analyzers
+	// must degrade gracefully (skip, never guess) on nil type info.
+	Pkg  *types.Package
+	Info *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// pkgName resolves an identifier to the import path of the package it
+// names, or "" if it does not name an imported package. This is how
+// analyzers tell `time.Now` (package selector) from `time.Now` where
+// `time` is a local variable.
+func (p *Pass) pkgName(id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallTime,
+		UntrackedGo,
+		GlobalRand,
+		LockedSend,
+		ErrDrop,
+	}
+}
+
+// ByName resolves a comma-separated rule list against All. An unknown
+// name is an error (a typo would otherwise silently vet nothing).
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Check loads every package of the module rooted at root (dir
+// containing go.mod) and runs the analyzers over each. Findings
+// suppressed by //xflow:allow comments are filtered out; the remainder
+// come back sorted by position.
+func Check(root string, analyzers []*Analyzer) ([]Finding, error) {
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.loadAll()
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, cp := range pkgs {
+		findings = append(findings, checkPackage(l.fset, cp, analyzers)...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// CheckDir vets the single package in dir as though its import path
+// were asPath. This is how the golden fixtures are driven (a fixture
+// directory is vetted "as" a clock-mediated package) and how a
+// one-off directory can be checked without loading the whole module.
+func CheckDir(dir, asPath string, analyzers []*Analyzer) ([]Finding, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    abs,
+		modpath: ModulePath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*checkedPkg),
+		loading: make(map[string]bool),
+	}
+	cp, err := l.checkDir(abs, asPath)
+	if err != nil {
+		return nil, err
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	findings := checkPackage(fset, cp, analyzers)
+	sortFindings(findings)
+	return findings, nil
+}
+
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// checkPackage runs the analyzers over one loaded package and applies
+// suppression comments.
+func checkPackage(fset *token.FileSet, cp *checkedPkg, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	pass := &Pass{
+		Fset:     fset,
+		Files:    cp.files,
+		PkgPath:  cp.path,
+		Pkg:      cp.pkg,
+		Info:     cp.info,
+		findings: &findings,
+	}
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+	return filterSuppressed(fset, cp.files, findings)
+}
+
+// allowedLines maps file -> line -> set of rules suppressed on that
+// line by //xflow:allow comments.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	allowed := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := allowed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					allowed[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				for _, r := range rules {
+					set[r] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// parseAllow parses an "//xflow:allow rule[,rule...] [reason]" comment.
+func parseAllow(text string) (rules []string, ok bool) {
+	const prefix = "//xflow:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// filterSuppressed drops findings covered by an //xflow:allow comment
+// on the same line or the line directly above.
+func filterSuppressed(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	if len(findings) == 0 {
+		return nil
+	}
+	allowed := allowedLines(fset, files)
+	out := findings[:0]
+	for _, f := range findings {
+		byLine := allowed[f.Pos.Filename]
+		if byLine != nil && (byLine[f.Pos.Line][f.Rule] || byLine[f.Pos.Line-1][f.Rule]) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

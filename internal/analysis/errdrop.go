@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags expression statements inside internal packages that
+// discard an error return without even an explicit `_ =`. A dropped
+// error in the engine silently corrupts a run's report (a failed send,
+// a closed mailbox) instead of failing it loudly; determinism bugs
+// that surface as "the numbers are slightly off" are the most
+// expensive kind to find.
+//
+// Deliberate discards stay cheap: `_ = f()` is visible and allowed, as
+// is `defer f.Close()` (the idiomatic best-effort cleanup). Calls to
+// fmt's Print family and writes to bytes.Buffer / strings.Builder
+// (documented to never fail) are exempt.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag silently discarded error returns in internal packages",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	if !strings.Contains(pass.PkgPath, "/internal/") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || exemptCall(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "errdrop",
+				"result of %s includes an error that is silently discarded; handle it or assign to _ explicitly",
+				exprString(pass.Fset, call.Fun))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether call's result type includes an error.
+// Unresolvable calls (placeholder imports) are never flagged.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[ast.Expr(call)]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptCall reports whether call belongs to the conventional
+// never-fails set: fmt Print family, bytes.Buffer and strings.Builder
+// writes.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt.Print*/Fprint*.
+	if id, ok := sel.X.(*ast.Ident); ok && pass.pkgName(id) == "fmt" {
+		name := sel.Sel.Name
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	// Methods on *bytes.Buffer / *strings.Builder.
+	if s, ok := pass.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		switch recv.String() {
+		case "bytes.Buffer", "strings.Builder":
+			return true
+		}
+	}
+	return false
+}

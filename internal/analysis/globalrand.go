@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandOK lists the math/rand selectors that do NOT touch the
+// package-global generator: constructors and types used to build the
+// seeded *rand.Rand values the project requires.
+var globalRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// GlobalRand forbids the package-level math/rand functions everywhere
+// in the module. They draw from a shared global generator whose state
+// depends on every other caller in the process (and, since Go 1.20, is
+// randomly seeded), so two runs with the same experiment seed diverge.
+// Randomness must flow through seeded *rand.Rand values threaded from
+// configuration.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions; thread a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pass.pkgName(id) {
+			case "math/rand", "math/rand/v2":
+			default:
+				return true
+			}
+			if !globalRandOK[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "globalrand",
+					"rand.%s uses the process-global generator and breaks run repeatability; use a seeded *rand.Rand",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+// TestModuleIsClean runs the full analyzer suite over the real module
+// and requires zero findings — the same gate CI applies with
+// `go run ./cmd/xflow-vet ./...`. Any new violation of the vclock
+// invariants fails this test with the offending position.
+func TestModuleIsClean(t *testing.T) {
+	findings, err := Check("../..", All())
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

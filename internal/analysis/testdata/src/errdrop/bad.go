@@ -1,0 +1,18 @@
+package fixture
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func mayFailWithValue() (int, error) { return 0, errors.New("boom") }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func bad() {
+	mayFail()          // want errdrop
+	mayFailWithValue() // want errdrop
+	var c conn
+	c.Close() // want errdrop
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard is visible, hence allowed
+	n, err := mayFailWithValue()
+	_, _ = n, err
+	fmt.Println("fmt print family is exempt")
+	var b strings.Builder
+	b.WriteString("builder writes never fail")
+	return nil
+}
+
+func deferredCleanup() {
+	var c conn
+	defer c.Close() // defer'd best-effort cleanup is idiomatic
+}
+
+func noError() { helper() }
+
+func helper() int { return 1 }

@@ -1,0 +1,6 @@
+package fixture
+
+func bestEffort() {
+	//xflow:allow errdrop metrics flush failure must never fail a run
+	mayFail()
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(42)                      // want globalrand
+	x := rand.Intn(10)                 // want globalrand
+	_ = rand.Float64()                 // want globalrand
+	_ = rand.Int63n(100)               // want globalrand
+	rand.Shuffle(2, func(i, j int) {}) // want globalrand
+	return x
+}

@@ -1,0 +1,16 @@
+package fixture
+
+import "math/rand"
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// A local variable shadowing the package name is not the global
+// generator.
+func shadowed(rand *randLike) int { return rand.Intn(3) }
+
+type randLike struct{}
+
+func (*randLike) Intn(int) int { return 0 }

@@ -1,0 +1,8 @@
+package fixture
+
+import "math/rand"
+
+func jitter() int {
+	//xflow:allow globalrand demo: non-deterministic jitter outside any experiment path
+	return rand.Intn(3)
+}

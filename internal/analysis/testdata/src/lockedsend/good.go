@@ -1,0 +1,31 @@
+package fixture
+
+func (n *node) goodSendAfterUnlock(v int) {
+	n.mu.Lock()
+	queued := v + 1
+	n.mu.Unlock()
+	n.ch <- queued
+}
+
+func (n *node) goodEarlyReturn() {
+	n.mu.Lock()
+	if n.mb == nil {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.clk.Sleep(1)
+}
+
+func (n *node) goodFuncLitCapturedForLater() func() {
+	n.mu.Lock()
+	f := func() { n.ch <- 1 } // body runs off-lock; analyzed separately
+	n.mu.Unlock()
+	return f
+}
+
+func (n *node) goodNonBlockingUnderLock() {
+	n.mu.Lock()
+	n.mb.Send(1) // Send never blocks by contract
+	n.mu.Unlock()
+}

@@ -1,0 +1,8 @@
+package fixture
+
+func (n *node) suppressed(v int) {
+	n.mu.Lock()
+	//xflow:allow lockedsend receiver is guaranteed buffered in this fixture
+	n.ch <- v
+	n.mu.Unlock()
+}

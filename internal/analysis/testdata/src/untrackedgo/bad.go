@@ -1,0 +1,8 @@
+package fixture
+
+func bad(work func()) {
+	go work()   // want untrackedgo
+	go func() { // want untrackedgo
+		work()
+	}()
+}

@@ -1,0 +1,9 @@
+package fixture
+
+// clock mirrors vclock.Clock.Go, the tracked way to start goroutines.
+type clock interface{ Go(func()) }
+
+func good(c clock, work func()) {
+	c.Go(work)
+	c.Go(func() { work() })
+}

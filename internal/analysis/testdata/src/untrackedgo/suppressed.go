@@ -1,0 +1,7 @@
+package fixture
+
+// A fire-and-forget logger flush may outlive the clock by design.
+func flush(f func()) {
+	//xflow:allow untrackedgo flush goroutine is outside the simulation
+	go f()
+}

@@ -1,0 +1,12 @@
+package fixture
+
+import "time"
+
+func bad() {
+	_ = time.Now()                         // want walltime
+	time.Sleep(time.Second)                // want walltime
+	<-time.After(time.Second)              // want walltime
+	_ = time.Tick(time.Second)             // want walltime
+	_ = time.Since(time.Time{})            // want walltime
+	time.AfterFunc(time.Second, func() {}) // want walltime
+}

@@ -1,0 +1,17 @@
+package fixture
+
+import "time"
+
+// clock mirrors vclock.Clock: waiting through it is the sanctioned
+// path, and pure time.Duration / time.Time plumbing is always fine.
+type clock interface {
+	Now() time.Time
+	Sleep(time.Duration)
+}
+
+func good(c clock) time.Duration {
+	start := c.Now()
+	c.Sleep(5 * time.Millisecond)
+	deadline := start.Add(time.Minute)
+	return c.Now().Sub(deadline)
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import "time"
+
+// The report footer stamps wall time on purpose: it describes the host
+// run, not simulated time.
+//
+//xflow:allow walltime wall-clock stamp is presentation-only
+func stamped() time.Time { return time.Now() }
+
+func inline() { time.Sleep(0) } //xflow:allow walltime same-line suppression form

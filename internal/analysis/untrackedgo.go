@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// UntrackedGo forbids bare go statements in clock-mediated packages.
+// The simulated clock advances only when every *tracked* goroutine is
+// blocked in a clock-mediated wait; a goroutine started with a bare go
+// statement is invisible to that accounting, so the clock can jump
+// while the goroutine still has work in flight — racy, unrepeatable
+// runs that are almost impossible to debug. Clock.Go registers the
+// goroutine with the clock (and with Wait).
+var UntrackedGo = &Analyzer{
+	Name: "untrackedgo",
+	Doc:  "forbid bare go statements in clock-mediated packages; use Clock.Go",
+	Run:  runUntrackedGo,
+}
+
+func runUntrackedGo(pass *Pass) {
+	if !clockMediated[pass.PkgPath] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "untrackedgo",
+					"bare go statement starts a goroutine the clock cannot track; use Clock.Go")
+			}
+			return true
+		})
+	}
+}

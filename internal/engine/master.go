@@ -47,9 +47,15 @@ type Master struct {
 	allocCount   int
 }
 
-// newMaster wires a master; the cluster runner starts it with Go.
+// newMaster wires a master; the cluster runner starts it with Go. The
+// caller owns rng's seeding — the master never touches the global
+// math/rand generator, so identically-seeded runs replay identically.
+// A nil rng falls back to a seed-0 source rather than crashing.
 func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
-	arrivals []Arrival, expectedWorkers int, seed int64) *Master {
+	arrivals []Arrival, expectedWorkers int, rng *rand.Rand) *Master {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
 	return &Master{
 		clk:             clk,
 		ep:              ep,
@@ -57,7 +63,7 @@ func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 		wf:              wf,
 		arrivals:        arrivals,
 		expectedWorkers: expectedWorkers,
-		rng:             rand.New(rand.NewSource(seed)),
+		rng:             rng,
 		records:         make(map[string]*JobRecord),
 		workerSet:       make(map[string]bool),
 		arrivalsLeft:    len(arrivals),
@@ -66,10 +72,12 @@ func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 
 // NewMaster wires a master over an arbitrary Port — the entry point for
 // distributed deployments where the broker lives in another process. For
-// single-process runs prefer Run, which assembles everything.
+// single-process runs prefer Run, which assembles everything. The
+// seeded rng drives every random allocation decision; thread it from
+// the deployment's experiment seed.
 func NewMaster(clk vclock.Clock, port Port, alloc Allocator, wf *Workflow,
-	arrivals []Arrival, expectedWorkers int, seed int64) *Master {
-	return newMaster(clk, port, alloc, wf, arrivals, expectedWorkers, seed)
+	arrivals []Arrival, expectedWorkers int, rng *rand.Rand) *Master {
+	return newMaster(clk, port, alloc, wf, arrivals, expectedWorkers, rng)
 }
 
 // Run executes the master actor loop until the workflow completes; it

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"crossflow/internal/broker"
@@ -39,6 +40,10 @@ type Config struct {
 	MasterLink time.Duration
 	// Seed seeds the master's random source.
 	Seed int64
+	// Rand, when non-nil, supplies the master's random source directly
+	// and takes precedence over Seed — for harnesses that thread one
+	// seeded generator through a whole experiment.
+	Rand *rand.Rand
 	// Kills schedules worker crashes (fault-injection experiments).
 	Kills []Kill
 	// Tracer, when non-nil, receives every allocation event.
@@ -64,10 +69,14 @@ func Run(cfg Config) (*Report, error) {
 		clk = vclock.NewSim()
 	}
 
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	bus := broker.New(clk)
 	masterEp := bus.Register(MasterName, cfg.MasterLink)
 	master := newMaster(clk, masterEp, cfg.Allocator, cfg.Workflow,
-		cfg.Arrivals, len(cfg.Workers), cfg.Seed)
+		cfg.Arrivals, len(cfg.Workers), rng)
 	master.tracer = cfg.Tracer
 
 	workers := make([]*Worker, 0, len(cfg.Workers))

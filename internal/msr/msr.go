@@ -129,9 +129,9 @@ func Pipeline(cfg Config) *engine.Workflow {
 // 40% of (library, repository) pairs are dependencies.
 func DependsOn(library, repo string) bool {
 	h := fnv.New64a()
-	h.Write([]byte(library))
-	h.Write([]byte{0})
-	h.Write([]byte(repo))
+	_, _ = h.Write([]byte(library)) // fnv writes never fail
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(repo))
 	return h.Sum64()%100 < 40
 }
 

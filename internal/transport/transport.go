@@ -111,7 +111,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // best-effort teardown
 	}
 	return s.ln.Close()
 }
@@ -125,7 +125,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		s.conns[conn] = true
@@ -136,7 +136,7 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
-		conn.Close()
+		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -235,7 +235,7 @@ func Dial(addr, name string, link time.Duration, clk vclock.Clock) (*Client, err
 		acks:  make(map[uint64]chan int),
 	}
 	if err := c.encode(frame{Kind: kindHello, Name: name, Link: link}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	go c.recvLoop()
@@ -256,7 +256,7 @@ func (c *Client) recvLoop() {
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
-			c.Close()
+			_ = c.Close()
 			return
 		}
 		switch f.Kind {
@@ -331,14 +331,16 @@ func (c *Client) Publish(topic string, payload any) int {
 	}
 }
 
-// Subscribe implements engine.Port.
+// Subscribe implements engine.Port. An encode failure means the
+// connection is already broken; recvLoop closes the client, so the
+// error carries no extra information here.
 func (c *Client) Subscribe(topic string) {
-	c.encode(frame{Kind: kindSubscribe, Topic: topic})
+	_ = c.encode(frame{Kind: kindSubscribe, Topic: topic})
 }
 
 // Unsubscribe stops topic deliveries.
 func (c *Client) Unsubscribe(topic string) {
-	c.encode(frame{Kind: kindUnsubscribe, Topic: topic})
+	_ = c.encode(frame{Kind: kindUnsubscribe, Topic: topic})
 }
 
 // Interface checks.

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -165,7 +166,8 @@ func TestDistributedWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer masterPort.Close()
-	master := engine.NewMaster(clk, masterPort, core.NewBidding(), wf, arrivals, 2, 1)
+	master := engine.NewMaster(clk, masterPort, core.NewBidding(), wf, arrivals, 2,
+		rand.New(rand.NewSource(1)))
 	clk.Go(master.Run)
 	waitRegistered(t, srv, engine.MasterName)
 
