@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -54,13 +55,17 @@ func main() {
 	wallStart := time.Now()
 	for it := 1; it <= *iterations; it++ {
 		var trace *engine.TraceLog
+		// The effective seed is per iteration; re-running with -seed set
+		// to the printed value and -iterations 1 replays that iteration's
+		// master decisions (minus the warmed cache state).
+		effSeed := *seed + int64(it-1)
 		cfg := engine.Config{
 			Workers:   states,
 			Allocator: pol.NewAllocator(),
 			NewAgent:  pol.NewAgent,
 			Workflow:  workload.Workflow(),
 			Arrivals:  workload.Generate(jc, workload.Options{Jobs: *jobs, Seed: *seed}),
-			Seed:      *seed + int64(it),
+			Rand:      rand.New(rand.NewSource(effSeed)),
 		}
 		if *dumpTrace {
 			trace = engine.NewTraceLog()
@@ -72,7 +77,8 @@ func main() {
 			os.Exit(1)
 		}
 		t := &metrics.Table{
-			Title:  fmt.Sprintf("Iteration %d/%d — %s on %s / %s", it, *iterations, pol.Name, jc, prof),
+			Title: fmt.Sprintf("Iteration %d/%d — %s on %s / %s (seed %d)",
+				it, *iterations, pol.Name, jc, prof, effSeed),
 			Header: []string{"metric", "value"},
 		}
 		t.AddRow("makespan", rep.Makespan.Round(time.Millisecond).String())

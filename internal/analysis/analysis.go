@@ -59,6 +59,7 @@ var clockMediated = map[string]bool{
 	ModulePath + "/internal/msr":         true,
 	ModulePath + "/internal/cluster":     true,
 	ModulePath + "/internal/experiments": true,
+	ModulePath + "/internal/simtest":     true,
 }
 
 // Finding is one rule violation at one source position.

@@ -13,6 +13,8 @@ package broker
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,6 +43,15 @@ type Envelope struct {
 // under the broker lock and must not block.
 type DelayFunc func(from, to *Endpoint) time.Duration
 
+// DropFunc decides whether one delivery is lost in transit. It is
+// consulted once per direct message and once per topic-fanout target,
+// after the down/disconnect checks; returning true silently discards
+// that delivery (counted in Stats.Dropped). Implementations are called
+// under the broker lock and must not block; to keep runs repeatable
+// they should decide from the envelope's content and timestamp, never
+// from call order or an unseeded random source.
+type DropFunc func(env Envelope, to string) bool
+
 // Stats holds message-level counters for one broker.
 type Stats struct {
 	// Direct is the number of direct messages delivered.
@@ -60,6 +71,7 @@ type Broker struct {
 	delay DelayFunc
 
 	mu        sync.Mutex
+	drop      DropFunc
 	endpoints map[string]*Endpoint
 	topics    map[string]map[string]*Endpoint // topic -> subscriber name -> endpoint
 	stats     Stats
@@ -104,6 +116,14 @@ func (b *Broker) SetDelayFunc(f DelayFunc) {
 		}
 	}
 	b.delay = f
+}
+
+// SetDropFunc installs a delivery-loss model for fault injection.
+// Passing nil restores lossless delivery.
+func (b *Broker) SetDropFunc(f DropFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drop = f
 }
 
 // Stats returns a snapshot of the broker's message counters.
@@ -161,11 +181,40 @@ func (b *Broker) send(from *Endpoint, to string, payload any) bool {
 		return false
 	}
 	env := Envelope{From: from.name, To: to, Payload: payload, SentAt: b.clk.Now()}
-	d := b.delay(from, dst)
+	if b.drop != nil && b.drop(env, to) {
+		// Lost in transit: the sender cannot tell, so report delivered.
+		b.stats.Dropped++
+		b.mu.Unlock()
+		return true
+	}
+	d := b.delay(from, dst) + routeSkew(from.name, to)
 	b.stats.Direct++
 	b.mu.Unlock()
 	b.deliver(dst, env, d)
 	return true
+}
+
+// maxRouteSkew bounds routeSkew, in nanoseconds: under 66µs, well below
+// any configured link latency, but enough hash space that two routes
+// into the same inbox virtually never collide.
+const maxRouteSkew = 0xFFFF
+
+// routeSkew returns a deterministic sub-65µs propagation skew keyed by
+// the (from, to) route. Without it, two senders handing the broker
+// messages at the same simulated instant over equal-latency links would
+// deliver at the same deadline, and equal-deadline timers fire in the
+// order the senders won the broker lock — an OS-scheduling race that
+// same-seed re-runs may resolve differently. The skew separates the
+// deadlines of distinct routes by message content alone, the way no two
+// physical paths ever share an exact propagation delay. Messages on the
+// same route keep their causal send order (same skew, monotone timer
+// sequence).
+func routeSkew(from, to string) time.Duration {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(from))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(to))
+	return time.Duration(h.Sum64() & maxRouteSkew)
 }
 
 // publish fans a message out to every subscriber of topic.
@@ -177,17 +226,30 @@ func (b *Broker) publish(from *Endpoint, topic string, payload any) int {
 		b.mu.Unlock()
 		return 0
 	}
+	env := Envelope{From: from.name, Topic: topic, Payload: payload, SentAt: b.clk.Now()}
 	subs := b.topics[topic]
+	// Fan out in name order: map iteration order is random per run, and
+	// the order deliveries are scheduled in breaks ties between equal
+	// deadlines — determinism requires it to be stable.
+	names := make([]string, 0, len(subs))
+	for n := range subs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	targets := make([]*Endpoint, 0, len(subs))
 	delays := make([]time.Duration, 0, len(subs))
-	for _, ep := range subs {
+	for _, n := range names {
+		ep := subs[n]
 		if ep.down {
 			continue
 		}
+		if b.drop != nil && b.drop(env, ep.name) {
+			b.stats.Dropped++
+			continue
+		}
 		targets = append(targets, ep)
-		delays = append(delays, b.delay(from, ep))
+		delays = append(delays, b.delay(from, ep)+routeSkew(from.name, ep.name))
 	}
-	env := Envelope{From: from.name, Topic: topic, Payload: payload, SentAt: b.clk.Now()}
 	b.stats.Fanout += int64(len(targets))
 	b.mu.Unlock()
 	for i, ep := range targets {

@@ -100,6 +100,45 @@ func (b *BiddingAllocator) BidWindowExpired(ctx engine.AllocCtx, jobID string) {
 	b.close(ctx, jobID, c)
 }
 
+// WorkerLost implements engine.Allocator: scrub the dead worker from
+// every open contest. Its submitted bids must not win (the assignment
+// would target a closed endpoint and strand the job — the master only
+// redispatches jobs that were assigned *before* the death), and its
+// unanswered bid requests must no longer hold a contest open. A contest
+// whose remaining expectations are all met closes immediately.
+//
+// Found by simtest fuzzing: a worker killed between bidding and the
+// contest close left its winning bid in place, and the job it "won"
+// never ran (seed 438).
+func (b *BiddingAllocator) WorkerLost(ctx engine.AllocCtx, worker string, inflight []*engine.Job) {
+	// Scrub in job-ID order: one death can close several contests, and
+	// map-iteration order must not decide the order their assignments
+	// (and fallback random draws) happen in.
+	open := make([]string, 0, len(b.contests))
+	for jobID := range b.contests {
+		open = append(open, jobID)
+	}
+	sort.Strings(open)
+	for _, jobID := range open {
+		c := b.contests[jobID]
+		kept := c.bids[:0]
+		for _, bid := range c.bids {
+			if bid.Worker != worker {
+				kept = append(kept, bid)
+			}
+		}
+		c.bids = kept
+		// The dead worker was one of the publish's recipients whether or
+		// not it had answered yet; the contest no longer waits for it.
+		if c.expected > 0 {
+			c.expected--
+		}
+		if c.expected > 0 && len(c.bids) >= c.expected {
+			b.close(ctx, jobID, c)
+		}
+	}
+}
+
 // close concludes a contest: getPreferredWorker + sendToWorker
 // (Listing 1, lines 17–27), with the arbitrary-node fallback when no
 // bids arrived in time.

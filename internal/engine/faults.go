@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"errors"
+	"time"
+)
+
+// This file collects the fault-plan vocabulary of a run beyond worker
+// kills (runner.go's Kill): network partitions, delivery-loss and delay
+// models, storage shrink, and the deadline that bounds a faulty run.
+// The simulation-testing harness (internal/simtest) composes these into
+// adversarial scenarios; they are equally usable from hand-written
+// tests and the example programs.
+
+// ErrDeadlineExceeded is returned (wrapped) by Run when the workflow
+// did not complete within Config.Deadline of simulated time. The
+// partial report is returned alongside it.
+var ErrDeadlineExceeded = errors.New("engine: run exceeded deadline")
+
+// ErrDeadlocked is returned (wrapped) by Run when the simulated clock
+// detected a deadlock before the workflow completed: every tracked
+// goroutine blocked with no pending timer — the shape a lost message
+// leaves behind when nothing retries it.
+var ErrDeadlocked = errors.New("engine: simulation deadlocked before workflow completion")
+
+// Partition schedules a temporary disconnect of one node's broker
+// endpoint: At after the run starts the endpoint drops off the network
+// (messages to and from it are silently lost) and reconnects after
+// Duration. A zero or negative Duration never reconnects. Unlike Kill,
+// the master is not told — the node is alive but unreachable, the
+// stale-state failure shape of eventually-consistent schedulers.
+type Partition struct {
+	// Node is the endpoint name: a worker's, or MasterName.
+	Node string
+	// At is the disconnect time, relative to the run's start.
+	At time.Duration
+	// Duration is how long the partition lasts; <= 0 means forever.
+	Duration time.Duration
+}
+
+// CacheShrink schedules a worker's cache capacity changing mid-run,
+// evicting whatever no longer fits — the "disk ran out of space"
+// fault. CapacityMB <= 0 makes the cache unbounded.
+type CacheShrink struct {
+	Worker     string
+	At         time.Duration
+	CapacityMB float64
+}

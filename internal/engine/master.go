@@ -35,6 +35,8 @@ type Master struct {
 	results      []any
 	nextID       int
 
+	aborted      bool
+	finished     bool
 	completed    int
 	offers       int
 	rejections   int
@@ -141,8 +143,14 @@ func (m *Master) handle(env broker.Envelope) (done bool) {
 		m.arrivalsLeft--
 		m.inject(msg.Job)
 	case MsgBid:
-		m.bids++
-		m.alloc.BidReceived(m, msg)
+		// An in-flight bid from a worker that has since died must not win
+		// the contest: the assignment would go to a closed endpoint and the
+		// job would be stranded until the next kill of that worker (which
+		// never comes). Found by simtest fuzzing (seed 438).
+		if m.workerSet[msg.Worker] {
+			m.bids++
+			m.alloc.BidReceived(m, msg)
+		}
 	case MsgBidWindowExpired:
 		m.alloc.BidWindowExpired(m, msg.JobID)
 	case MsgAccept:
@@ -163,6 +171,12 @@ func (m *Master) handle(env broker.Envelope) (done bool) {
 		m.alloc.Tick(m, msg.Token)
 	case MsgWorkerDead:
 		m.onWorkerDead(msg.Worker)
+	case msgAbort:
+		m.aborted = true
+		m.finished = true
+		m.endTime = m.clk.Now()
+		m.ep.Publish(TopicControl, MsgStop{})
+		return true
 	}
 	return m.maybeFinish()
 }
@@ -293,10 +307,19 @@ func (m *Master) maybeFinish() bool {
 	if !m.started || m.arrivalsLeft > 0 || m.outstanding > 0 {
 		return false
 	}
+	m.finished = true
 	m.endTime = m.clk.Now()
 	m.ep.Publish(TopicControl, MsgStop{})
 	return true
 }
+
+// done reports whether the master's actor loop has terminated (normally
+// or by abort). Callers must synchronize with the loop's exit first —
+// Run reads it only after the clock's Wait returned.
+func (m *Master) done() bool { return m.finished }
+
+// Aborted reports whether the run was cut short by its Deadline.
+func (m *Master) Aborted() bool { return m.aborted }
 
 // --- AllocCtx implementation -------------------------------------------
 

@@ -145,3 +145,9 @@ type MsgStop struct{}
 type MsgWorkerDead struct {
 	Worker string
 }
+
+// msgAbort is the master's self-message injected when a run's Deadline
+// expires: the master stops waiting for outstanding work, publishes the
+// stop signal, and Run reports ErrDeadlineExceeded. It never crosses the
+// broker, so it stays unexported.
+type msgAbort struct{}

@@ -11,17 +11,33 @@ import (
 )
 
 // TestPropertyAllSchedulersConserveJobs drives every policy over
-// randomized small configurations and checks the engine's conservation
+// randomized small configurations — including a random fault plan of
+// zero to two worker kills — and checks the engine's conservation
 // invariants: every job finishes exactly once, per-worker completions
 // sum to the total, every cache miss is one download, and every
 // data-bound execution is either a hit or a miss.
 func TestPropertyAllSchedulersConserveJobs(t *testing.T) {
 	policies := core.Policies()
-	prop := func(polRaw, nWorkersRaw, nJobsRaw, nKeysRaw uint8, seed int64) bool {
+	prop := func(polRaw, nWorkersRaw, nJobsRaw, nKeysRaw, killsRaw uint8, seed int64) bool {
 		pol := policies[int(polRaw)%len(policies)]
 		nWorkers := int(nWorkersRaw)%4 + 1
 		nJobs := int(nJobsRaw)%25 + 1
 		nKeys := int(nKeysRaw)%8 + 1
+
+		// Kill up to two workers, always leaving a survivor; killing this
+		// late-ish (seconds in) lets the schedulers allocate first, so the
+		// redispatch path actually runs.
+		nKills := int(killsRaw) % 3
+		if nKills >= nWorkers {
+			nKills = nWorkers - 1
+		}
+		var kills []engine.Kill
+		for k := 0; k < nKills; k++ {
+			kills = append(kills, engine.Kill{
+				Worker: fmt.Sprintf("w%d", k),
+				At:     time.Duration(int(seed)&0x3F+1+10*k) * time.Second,
+			})
+		}
 
 		workers := testCluster(nWorkers, 20, 100, 0)
 		arrivals := make([]engine.Arrival, nJobs)
@@ -43,6 +59,7 @@ func TestPropertyAllSchedulersConserveJobs(t *testing.T) {
 			Workflow:  dataWorkflow(),
 			Arrivals:  arrivals,
 			Seed:      seed,
+			Kills:     kills,
 		})
 		if err != nil {
 			t.Logf("%s: %v", pol.Name, err)
@@ -56,16 +73,23 @@ func TestPropertyAllSchedulersConserveJobs(t *testing.T) {
 		for _, w := range rep.Workers {
 			perWorker += w.JobsDone
 		}
-		if perWorker != nJobs {
+		// A killed worker drains its queue into its own counters but its
+		// completions are lost to the master, so under kills the per-worker
+		// sum may exceed the master's count; without kills they must match.
+		if perWorker != nJobs && nKills == 0 {
 			t.Logf("%s: per-worker sum %d != %d", pol.Name, perWorker, nJobs)
+			return false
+		}
+		if perWorker < nJobs {
+			t.Logf("%s: per-worker sum %d < %d completed", pol.Name, perWorker, nJobs)
 			return false
 		}
 		if rep.Downloads != rep.CacheMisses {
 			t.Logf("%s: downloads %d != misses %d", pol.Name, rep.Downloads, rep.CacheMisses)
 			return false
 		}
-		if rep.CacheHits+rep.CacheMisses != nJobs {
-			t.Logf("%s: hits %d + misses %d != jobs %d", pol.Name, rep.CacheHits, rep.CacheMisses, nJobs)
+		if rep.CacheHits+rep.CacheMisses != perWorker {
+			t.Logf("%s: hits %d + misses %d != executions %d", pol.Name, rep.CacheHits, rep.CacheMisses, perWorker)
 			return false
 		}
 		// Every record finished, with sane timestamps.

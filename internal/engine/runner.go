@@ -46,6 +46,24 @@ type Config struct {
 	Rand *rand.Rand
 	// Kills schedules worker crashes (fault-injection experiments).
 	Kills []Kill
+	// Partitions schedules temporary endpoint disconnects.
+	Partitions []Partition
+	// CacheShrinks schedules mid-run worker cache capacity changes.
+	CacheShrinks []CacheShrink
+	// DelayFunc overrides the broker's delivery-delay model (latency
+	// spikes, asymmetric links). Nil keeps the default link-sum model.
+	DelayFunc broker.DelayFunc
+	// DropFunc installs a broker delivery-loss model. Implementations
+	// must be deterministic (see broker.DropFunc).
+	DropFunc broker.DropFunc
+	// Deadline bounds the run in simulated time: if the workflow has not
+	// completed Deadline after the run starts, the master aborts, every
+	// worker is force-stopped, and Run returns the partial report with
+	// ErrDeadlineExceeded. Zero means no bound. Any run with a lossy
+	// fault plan (Partitions, DropFunc) should set it — a lost message
+	// that nothing retries would otherwise starve the master's
+	// termination detection forever.
+	Deadline time.Duration
 	// Tracer, when non-nil, receives every allocation event.
 	Tracer Tracer
 }
@@ -74,6 +92,12 @@ func Run(cfg Config) (*Report, error) {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	bus := broker.New(clk)
+	if cfg.DelayFunc != nil {
+		bus.SetDelayFunc(cfg.DelayFunc)
+	}
+	if cfg.DropFunc != nil {
+		bus.SetDropFunc(cfg.DropFunc)
+	}
 	masterEp := bus.Register(MasterName, cfg.MasterLink)
 	master := newMaster(clk, masterEp, cfg.Allocator, cfg.Workflow,
 		cfg.Arrivals, len(cfg.Workers), rng)
@@ -104,6 +128,46 @@ func Run(cfg Config) (*Report, error) {
 			master.Inject(MsgWorkerDead{Worker: k.Worker})
 		})
 	}
+	for _, p := range cfg.Partitions {
+		ep, ok := bus.Lookup(p.Node)
+		if !ok {
+			return nil, fmt.Errorf("engine: partition schedules unknown node %q", p.Node)
+		}
+		p := p
+		clk.AfterFunc(p.At, ep.Disconnect)
+		if p.Duration > 0 {
+			clk.AfterFunc(p.At+p.Duration, ep.Reconnect)
+		}
+	}
+	for _, cs := range cfg.CacheShrinks {
+		w, ok := byName[cs.Worker]
+		if !ok {
+			return nil, fmt.Errorf("engine: cache shrink schedules unknown worker %q", cs.Worker)
+		}
+		cs := cs
+		clk.AfterFunc(cs.At, func() { w.cache.SetCapacity(cs.CapacityMB) })
+	}
+	if cfg.Deadline > 0 {
+		// The master aborts first (its timer was scheduled first, so it
+		// fires first at the shared deadline instant), then every worker
+		// is force-stopped; a worker mid-execution drains its queue and
+		// exits. Without the force-stop, a worker whose registration or
+		// stop signal was lost would heartbeat forever and the simulation
+		// would never go idle.
+		clk.AfterFunc(cfg.Deadline, func() { master.Inject(msgAbort{}) })
+		for _, w := range workers {
+			w := w
+			clk.AfterFunc(cfg.Deadline, w.kill)
+		}
+	}
+
+	// A lost message can leave every goroutine parked with no pending
+	// timer; turn that into a clean error instead of a panic. The
+	// handler records what was blocked for the error message.
+	var deadlockWaiting []string
+	if sim, ok := clk.(*vclock.Sim); ok {
+		sim.SetDeadlockHandler(func(waiting []string) { deadlockWaiting = waiting })
+	}
 
 	// All start-up happens inside one tracked goroutine: the simulated
 	// clock counts it as runnable, so it can never observe a half-built
@@ -117,8 +181,12 @@ func Run(cfg Config) (*Report, error) {
 	})
 	clk.Wait()
 
-	if sim, ok := clk.(*vclock.Sim); ok && sim.Deadlocked() {
-		return nil, errors.New("engine: simulation deadlocked before workflow completion")
+	// A deadlock after the master finished (a worker's stop signal lost
+	// to a partition) strands that worker's goroutine but the run itself
+	// concluded; only an unfinished master makes the deadlock the run's
+	// outcome.
+	if sim, ok := clk.(*vclock.Sim); ok && sim.Deadlocked() && !master.done() {
+		return nil, fmt.Errorf("%w (blocked: %v)", ErrDeadlocked, deadlockWaiting)
 	}
 
 	rep := master.Report()
@@ -135,6 +203,10 @@ func Run(cfg Config) (*Report, error) {
 		rep.Evictions += wr.Evictions
 		rep.DataLoadMB += wr.DataLoadMB
 		rep.Downloads += wr.Downloads
+	}
+	if master.Aborted() {
+		return rep, fmt.Errorf("%w (%v of simulated time, %d/%d jobs completed)",
+			ErrDeadlineExceeded, cfg.Deadline, rep.JobsCompleted, len(cfg.Arrivals))
 	}
 	return rep, nil
 }

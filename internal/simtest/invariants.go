@@ -1,0 +1,269 @@
+package simtest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"crossflow/internal/engine"
+	"crossflow/internal/vclock"
+)
+
+// CheckTrace audits one run against the invariant library. Safety
+// invariants (exactly-once termination, monotone per-job histories,
+// death-justified redispatch, protocol-justified assignment, balanced
+// cache accounting) must hold on every run, including aborted ones.
+// Liveness invariants (the workflow completes, every record finishes)
+// additionally hold whenever the fault plan cannot lose messages — a
+// lossy plan is allowed to stall, but only into the run deadline or a
+// detected deadlock, never a hang.
+func CheckTrace(sc *Scenario, r *RunResult) *Violation {
+	fail := func(invariant, format string, args ...any) *Violation {
+		return &Violation{Seed: sc.Seed, Policy: r.Policy, Invariant: invariant,
+			Detail: fmt.Sprintf(format, args...)}
+	}
+
+	// Outcome triage: which errors are acceptable under this fault plan?
+	if r.Err != nil {
+		if !errors.Is(r.Err, engine.ErrDeadlineExceeded) && !errors.Is(r.Err, engine.ErrDeadlocked) {
+			return fail("clean-error", "run failed outside the fault model: %v", r.Err)
+		}
+		if !sc.Faults.Lossy() {
+			return fail("completion", "lossless fault plan must complete, got: %v", r.Err)
+		}
+	}
+
+	if v := checkJobHistories(sc, r, fail); v != nil {
+		return v
+	}
+	if v := checkCacheAccounting(sc, r, fail); v != nil {
+		return v
+	}
+	if r.Err == nil {
+		if v := checkConservation(sc, r, fail); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// assignDiscipline is what must precede a TraceAssigned event in a
+// policy's trace.
+type assignDiscipline int
+
+const (
+	// assignFree: pull and centralized policies may assign at will.
+	assignFree assignDiscipline = iota
+	// assignAfterContest: bidding policies assign only after publishing
+	// a bid request for the job.
+	assignAfterContest
+	// assignAfterOffer: the baseline assigns only by a worker accepting
+	// an offer previously extended to it.
+	assignAfterOffer
+)
+
+func disciplineOf(policy string) assignDiscipline {
+	switch policy {
+	case "bidding", "bidding-fast":
+		return assignAfterContest
+	case "baseline":
+		return assignAfterOffer
+	default:
+		return assignFree
+	}
+}
+
+// jobState accumulates one job's trace history during the linear scan.
+type jobState struct {
+	injected  int
+	terminal  int
+	contests  int
+	lastNode  string // node of the most recent assigned/offered
+	offeredTo map[string]bool
+	lastAt    time.Time
+}
+
+// checkJobHistories walks the trace once, enforcing the per-job
+// lifecycle invariants.
+func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...any) *Violation) *Violation {
+	discipline := disciplineOf(r.Policy)
+	killAt := make(map[string]time.Duration, len(sc.Faults.Kills))
+	for _, k := range sc.Faults.Kills {
+		if at, dup := killAt[k.Worker]; !dup || k.At < at {
+			killAt[k.Worker] = k.At
+		}
+	}
+	poison := make(map[string]bool, len(sc.Jobs))
+	for _, j := range sc.Jobs {
+		poison[j.ID] = j.Poison
+	}
+
+	jobs := make(map[string]*jobState)
+	st := func(id string) *jobState {
+		s := jobs[id]
+		if s == nil {
+			s = &jobState{offeredTo: make(map[string]bool)}
+			jobs[id] = s
+		}
+		return s
+	}
+	for i, ev := range r.Events {
+		s := st(ev.JobID)
+		if ev.At.Before(s.lastAt) {
+			return fail("timestamps-monotone", "job %s: %s at %v before prior event at %v",
+				ev.JobID, ev.Kind, ev.At, s.lastAt)
+		}
+		s.lastAt = ev.At
+		if s.terminal > 0 {
+			return fail("lifecycle-exactly-once", "job %s: %s event after terminal event",
+				ev.JobID, ev.Kind)
+		}
+		if ev.Kind != engine.TraceInjected && s.injected == 0 {
+			return fail("timestamps-monotone", "job %s: %s before injection (event %d)",
+				ev.JobID, ev.Kind, i)
+		}
+		switch ev.Kind {
+		case engine.TraceInjected:
+			s.injected++
+			if s.injected > 1 {
+				return fail("lifecycle-exactly-once", "job %s injected twice", ev.JobID)
+			}
+		case engine.TraceContest:
+			s.contests++
+		case engine.TraceOffered:
+			s.offeredTo[ev.Node] = true
+			s.lastNode = ev.Node
+		case engine.TraceAssigned:
+			switch discipline {
+			case assignAfterContest:
+				if s.contests == 0 {
+					return fail("assigned-after-contest",
+						"job %s assigned to %s with no preceding bid contest", ev.JobID, ev.Node)
+				}
+			case assignAfterOffer:
+				if !s.offeredTo[ev.Node] {
+					return fail("assigned-after-offer",
+						"job %s assigned to %s which was never offered it", ev.JobID, ev.Node)
+				}
+			}
+			s.lastNode = ev.Node
+		case engine.TraceRejected:
+			// A rejection must answer an offer to that worker.
+			if !s.offeredTo[ev.Node] {
+				return fail("assigned-after-offer",
+					"job %s rejected by %s which was never offered it", ev.JobID, ev.Node)
+			}
+		case engine.TraceRedispatch:
+			at, killed := killAt[ev.Node]
+			if !killed {
+				return fail("redispatch-after-death",
+					"job %s redispatched from %s, which was never killed", ev.JobID, ev.Node)
+			}
+			if ev.At.Sub(vclock.Epoch) < at {
+				return fail("redispatch-after-death",
+					"job %s redispatched from %s at %v, before its kill at %v",
+					ev.JobID, ev.Node, ev.At.Sub(vclock.Epoch), at)
+			}
+			if s.lastNode != ev.Node {
+				return fail("redispatch-after-death",
+					"job %s redispatched from %s but was last placed on %q",
+					ev.JobID, ev.Node, s.lastNode)
+			}
+		case engine.TraceFinished, engine.TraceFailed:
+			s.terminal++
+			if poison[ev.JobID] && ev.Kind == engine.TraceFinished {
+				return fail("lifecycle-exactly-once", "poison job %s finished successfully", ev.JobID)
+			}
+			if !poison[ev.JobID] && ev.Kind == engine.TraceFailed {
+				return fail("lifecycle-exactly-once", "job %s failed but is not poison", ev.JobID)
+			}
+		}
+	}
+
+	// Clean completion: every scenario job reached exactly one terminal.
+	if r.Err == nil {
+		for _, j := range sc.Jobs {
+			s := jobs[j.ID]
+			if s == nil || s.injected == 0 {
+				return fail("lifecycle-exactly-once", "job %s never injected", j.ID)
+			}
+			if s.terminal != 1 {
+				return fail("lifecycle-exactly-once", "job %s has %d terminal events, want 1",
+					j.ID, s.terminal)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCacheAccounting enforces the data-accounting identities, which
+// hold on every run that produced a report: each data-bound execution
+// is exactly one cache hit or miss (kills included — a crashed worker
+// drains its queue into its own counters), and each miss is exactly one
+// download.
+func checkCacheAccounting(sc *Scenario, r *RunResult, fail func(string, string, ...any) *Violation) *Violation {
+	rep := r.Report
+	if rep == nil {
+		return nil // deadlocked before completion: no counters to audit
+	}
+	if rep.Downloads != rep.CacheMisses {
+		return fail("cache-accounting", "downloads %d != cache misses %d",
+			rep.Downloads, rep.CacheMisses)
+	}
+	var executions int
+	for _, w := range rep.Workers {
+		executions += w.JobsDone
+	}
+	if rep.CacheHits+rep.CacheMisses != executions {
+		return fail("cache-accounting", "hits %d + misses %d != %d data-bound executions",
+			rep.CacheHits, rep.CacheMisses, executions)
+	}
+	return nil
+}
+
+// checkConservation enforces the completion-side counts on clean runs:
+// the master completed every injected job exactly once, no record is
+// left unfinished, and the redispatch counter matches the trace.
+func checkConservation(sc *Scenario, r *RunResult, fail func(string, string, ...any) *Violation) *Violation {
+	rep := r.Report
+	if rep.JobsCompleted != len(sc.Jobs) {
+		return fail("conservation", "completed %d of %d jobs", rep.JobsCompleted, len(sc.Jobs))
+	}
+	var poisons int
+	for _, j := range sc.Jobs {
+		if j.Poison {
+			poisons++
+		}
+	}
+	if rep.JobsFailed != poisons {
+		return fail("conservation", "failed %d jobs, want %d (the poison jobs)",
+			rep.JobsFailed, poisons)
+	}
+	for id, rec := range rep.Records {
+		if rec.Status != engine.StatusFinished {
+			return fail("conservation", "record %s left in status %v", id, rec.Status)
+		}
+		if rec.Finished.Before(rec.Injected) {
+			return fail("conservation", "record %s finished before injection", id)
+		}
+	}
+	var redispatches int
+	for _, ev := range r.Events {
+		if ev.Kind == engine.TraceRedispatch {
+			redispatches++
+		}
+	}
+	if rep.Redispatched != redispatches {
+		return fail("conservation", "report counts %d redispatches, trace has %d",
+			rep.Redispatched, redispatches)
+	}
+	var executions int
+	for _, w := range rep.Workers {
+		executions += w.JobsDone
+	}
+	if executions < rep.JobsCompleted {
+		return fail("conservation", "workers executed %d jobs, master completed %d",
+			executions, rep.JobsCompleted)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package simtest
+
+import "crossflow/internal/core"
+
+// Shrink greedily minimizes a failing scenario while preserving the
+// original violation's (policy, invariant) signature: it repeatedly
+// tries dropping one job, one fault, or one worker (with every fault
+// addressed to it), keeping any reduction that still fails the same
+// way, until no single removal reproduces. The result is typically a
+// handful of jobs on one or two workers — small enough to read.
+//
+// Shrinking re-runs only the violating policy and skips the double-run
+// determinism check unless determinism was the violated invariant.
+func Shrink(sc *Scenario, v *Violation) *Scenario {
+	opts := Options{SkipDeterminism: v.Invariant != "determinism"}
+	for _, pol := range core.Policies() {
+		if pol.Name == v.Policy {
+			opts.Policies = []core.Policy{pol}
+		}
+	}
+
+	sameFailure := func(cand *Scenario) bool {
+		got := CheckScenario(cand, opts)
+		return got != nil && got.Policy == v.Policy && got.Invariant == v.Invariant
+	}
+
+	cur := sc
+	for {
+		next := shrinkStep(cur, sameFailure)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkStep returns the first single-removal reduction that still
+// fails, or nil when the scenario is minimal.
+func shrinkStep(sc *Scenario, sameFailure func(*Scenario) bool) *Scenario {
+	for i := range sc.Jobs {
+		cand := sc.clone()
+		cand.Jobs = append(cand.Jobs[:i:i], cand.Jobs[i+1:]...)
+		if len(cand.Jobs) > 0 && sameFailure(cand) {
+			return cand
+		}
+	}
+	for i := range sc.Faults.Kills {
+		cand := sc.clone()
+		cand.Faults.Kills = append(cand.Faults.Kills[:i:i], cand.Faults.Kills[i+1:]...)
+		if sameFailure(cand) {
+			return cand
+		}
+	}
+	for i := range sc.Faults.Partitions {
+		cand := sc.clone()
+		cand.Faults.Partitions = append(cand.Faults.Partitions[:i:i], cand.Faults.Partitions[i+1:]...)
+		if sameFailure(cand) {
+			return cand
+		}
+	}
+	for i := range sc.Faults.Spikes {
+		cand := sc.clone()
+		cand.Faults.Spikes = append(cand.Faults.Spikes[:i:i], cand.Faults.Spikes[i+1:]...)
+		if sameFailure(cand) {
+			return cand
+		}
+	}
+	for i := range sc.Faults.Shrinks {
+		cand := sc.clone()
+		cand.Faults.Shrinks = append(cand.Faults.Shrinks[:i:i], cand.Faults.Shrinks[i+1:]...)
+		if sameFailure(cand) {
+			return cand
+		}
+	}
+	if sc.Faults.DropProb > 0 {
+		cand := sc.clone()
+		cand.Faults.DropProb = 0
+		if sameFailure(cand) {
+			return cand
+		}
+	}
+	if len(sc.Workers) > 1 {
+		for i := range sc.Workers {
+			cand := sc.dropWorker(i)
+			if cand != nil && sameFailure(cand) {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+// clone deep-copies the scenario's slices so candidate edits never
+// alias the original.
+func (sc *Scenario) clone() *Scenario {
+	cp := *sc
+	cp.Workers = append([]WorkerCfg(nil), sc.Workers...)
+	cp.Jobs = append([]JobCfg(nil), sc.Jobs...)
+	cp.Faults.Kills = append([]KillFault(nil), sc.Faults.Kills...)
+	cp.Faults.Partitions = append([]PartitionFault(nil), sc.Faults.Partitions...)
+	cp.Faults.Spikes = append([]DelaySpike(nil), sc.Faults.Spikes...)
+	cp.Faults.Shrinks = append([]ShrinkFault(nil), sc.Faults.Shrinks...)
+	return &cp
+}
+
+// dropWorker removes worker i along with every fault addressed to it
+// (a kill of a nonexistent worker is a config error, not a scenario).
+func (sc *Scenario) dropWorker(i int) *Scenario {
+	name := sc.Workers[i].Name
+	cand := sc.clone()
+	cand.Workers = append(cand.Workers[:i:i], cand.Workers[i+1:]...)
+
+	kills := cand.Faults.Kills[:0]
+	for _, k := range cand.Faults.Kills {
+		if k.Worker != name {
+			kills = append(kills, k)
+		}
+	}
+	cand.Faults.Kills = kills
+
+	parts := cand.Faults.Partitions[:0]
+	for _, p := range cand.Faults.Partitions {
+		if p.Node != name {
+			parts = append(parts, p)
+		}
+	}
+	cand.Faults.Partitions = parts
+
+	shrinks := cand.Faults.Shrinks[:0]
+	for _, s := range cand.Faults.Shrinks {
+		if s.Worker != name {
+			shrinks = append(shrinks, s)
+		}
+	}
+	cand.Faults.Shrinks = shrinks
+
+	// Every kill must still leave a survivor.
+	if len(cand.Faults.Kills) >= len(cand.Workers) {
+		return nil
+	}
+	return cand
+}

@@ -160,7 +160,21 @@ func (c *Cache) UsedMB() float64 {
 }
 
 // CapacityMB returns the configured capacity (<= 0 meaning unbounded).
-func (c *Cache) CapacityMB() float64 { return c.capacity }
+func (c *Cache) CapacityMB() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// SetCapacity changes the capacity in place, evicting LRU entries if the
+// cache no longer fits. Fault-injection harnesses use it to model a disk
+// losing space mid-run; <= 0 makes the cache unbounded.
+func (c *Cache) SetCapacity(capacityMB float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacityMB
+	c.evictLocked()
+}
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {

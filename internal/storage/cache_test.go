@@ -185,6 +185,38 @@ func TestPropertyCapacityInvariant(t *testing.T) {
 	}
 }
 
+func TestSetCapacityShrinkEvictsLRU(t *testing.T) {
+	c := New(100)
+	c.Put("a", 30)
+	c.Put("b", 30)
+	c.Put("c", 30)
+	c.Access("a") // a becomes most recent
+	c.SetCapacity(40)
+	if !c.Contains("a") {
+		t.Error("most recent entry evicted by shrink")
+	}
+	if c.Contains("b") || c.Contains("c") {
+		t.Error("LRU entries survived a shrink below their size")
+	}
+	if got := c.CapacityMB(); got != 40 {
+		t.Errorf("CapacityMB = %v, want 40", got)
+	}
+	if s := c.Stats(); s.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", s.Evictions)
+	}
+}
+
+func TestSetCapacityUnboundedKeepsEverything(t *testing.T) {
+	c := New(50)
+	c.Put("a", 20)
+	c.Put("b", 20)
+	c.SetCapacity(0) // unbounded
+	c.Put("big", 500)
+	if !c.Contains("a") || !c.Contains("b") || !c.Contains("big") {
+		t.Error("unbounded cache evicted entries")
+	}
+}
+
 // Property: hits + misses equals the number of Access calls.
 func TestPropertyAccessAccounting(t *testing.T) {
 	prop := func(ops []uint8) bool {
