@@ -24,7 +24,7 @@ import (
 
 // BenchmarkFigure2 regenerates the Spark-like vs Crossflow-Baseline
 // comparison (Figure 2), one sub-benchmark per column group. The
-// "spark_over_crossflow" metric is the paper's reported ratio dimension
+// "spark_over_crossflow_ratio" metric is the paper's reported ratio dimension
 // (7.94x for group-1, 2.3x for group-2).
 func BenchmarkFigure2(b *testing.B) {
 	groups := []struct {
@@ -52,7 +52,7 @@ func BenchmarkFigure2(b *testing.B) {
 				}
 				ratio = cell.Series["spark-like"].MeanSeconds() / cell.Series["baseline"].MeanSeconds()
 			}
-			b.ReportMetric(ratio, "spark_over_crossflow")
+			b.ReportMetric(ratio, "spark_over_crossflow_ratio")
 		})
 	}
 }
@@ -85,9 +85,9 @@ func BenchmarkFigure3(b *testing.B) {
 				missRed = (baseMiss - bidMiss) / baseMiss
 				dataRed = (baseMB - bidMB) / baseMB
 			}
-			b.ReportMetric(speedup, "speedup")
-			b.ReportMetric(missRed*100, "miss_reduction_%")
-			b.ReportMetric(dataRed*100, "data_reduction_%")
+			b.ReportMetric(speedup, "speedup_ratio")
+			b.ReportMetric(missRed*100, "miss_reduction_pct")
+			b.ReportMetric(dataRed*100, "data_reduction_pct")
 		})
 	}
 }
@@ -108,7 +108,7 @@ func BenchmarkFigure4(b *testing.B) {
 					}
 					ratio = cell.Series["baseline"].MeanSeconds() / cell.Series["bidding"].MeanSeconds()
 				}
-				b.ReportMetric(ratio, "base_over_bidding")
+				b.ReportMetric(ratio, "base_over_bidding_ratio")
 			})
 		}
 	}
@@ -135,10 +135,10 @@ func BenchmarkTables1to3(b *testing.B) {
 		baseMiss += float64(r.BaseMiss)
 	}
 	n := float64(len(rows))
-	b.ReportMetric(bidSec/n, "bidding_s")
-	b.ReportMetric(baseSec/n, "baseline_s")
-	b.ReportMetric(bidMiss/n, "bidding_misses")
-	b.ReportMetric(baseMiss/n, "baseline_misses")
+	b.ReportMetric(bidSec/n, "bidding_sec")
+	b.ReportMetric(baseSec/n, "baseline_sec")
+	b.ReportMetric(bidMiss/n, "bidding_misses_count")
+	b.ReportMetric(baseMiss/n, "baseline_misses_count")
 }
 
 // BenchmarkHeadlineSummary regenerates the paper's abstract-level
@@ -153,10 +153,10 @@ func BenchmarkHeadlineSummary(b *testing.B) {
 		}
 		s = experiments.Summarize(cells)
 	}
-	b.ReportMetric(s.MaxSpeedup, "max_speedup")
-	b.ReportMetric(s.AvgSpeedupPct, "avg_time_reduction_%")
-	b.ReportMetric(s.MissReductionPct, "miss_reduction_%")
-	b.ReportMetric(s.DataReductionPct, "data_reduction_%")
+	b.ReportMetric(s.MaxSpeedup, "max_speedup_ratio")
+	b.ReportMetric(s.AvgSpeedupPct, "avg_time_reduction_pct")
+	b.ReportMetric(s.MissReductionPct, "miss_reduction_pct")
+	b.ReportMetric(s.DataReductionPct, "data_reduction_pct")
 }
 
 // --- Ablations over the design choices DESIGN.md calls out ----------------
@@ -180,7 +180,7 @@ func BenchmarkAblationBidWindow(b *testing.B) {
 				}
 				mean = cell.Series["bidding"].MeanSeconds()
 			}
-			b.ReportMetric(mean, "makespan_s")
+			b.ReportMetric(mean, "makespan_sec")
 		})
 	}
 }
@@ -202,7 +202,7 @@ func BenchmarkAblationCache(b *testing.B) {
 				missRed = (cell.Series["baseline"].MeanMisses() -
 					cell.Series["bidding"].MeanMisses()) / cell.Series["baseline"].MeanMisses()
 			}
-			b.ReportMetric(missRed*100, "miss_reduction_%")
+			b.ReportMetric(missRed*100, "miss_reduction_pct")
 		})
 	}
 }
@@ -226,7 +226,7 @@ func BenchmarkAblationNoise(b *testing.B) {
 				}
 				speedup = cell.Series["baseline"].MeanSeconds() / cell.Series["bidding"].MeanSeconds()
 			}
-			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(speedup, "speedup_ratio")
 		})
 	}
 }
@@ -246,7 +246,7 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 				}
 				mean = cell.Series[pol.Name].MeanSeconds()
 			}
-			b.ReportMetric(mean, "makespan_s")
+			b.ReportMetric(mean, "makespan_sec")
 		})
 	}
 }
@@ -287,6 +287,6 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 	elapsed := b.Elapsed().Seconds()
 	if elapsed > 0 {
-		b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs/s")
+		b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
 	}
 }

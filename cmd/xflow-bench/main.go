@@ -1,0 +1,118 @@
+// Command xflow-bench executes the fixed benchmark suite in
+// internal/bench and emits machine-readable results (schema
+// xflow-bench/v1): ns/op, allocs/op, bytes/op and every custom metric
+// the benchmarks report (e.g. sim_jobs_per_sec).
+//
+// Usage:
+//
+//	xflow-bench -out BENCH_3.json
+//	xflow-bench -out bench.json -baseline BENCH_3.json -threshold 0.15
+//
+// With -baseline the run is compared against a previous result file;
+// the process exits 1 if any gating metric (ns_per_op, allocs_per_op)
+// grew beyond the threshold or a baseline benchmark went missing, which
+// is how CI gates performance regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"crossflow/internal/bench"
+	"crossflow/internal/perf"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write results as xflow-bench/v1 JSON to this path")
+		baseline  = flag.String("baseline", "", "compare against this bench JSON; exit 1 on regression")
+		threshold = flag.Float64("threshold", 0.15, "relative growth a gating metric may show before it fails the comparison")
+		only      = flag.String("only", "", "run only suite entries whose name contains this substring")
+		repeat    = flag.Int("repeat", 3, "run each benchmark this many times and keep the fastest (noise reduction)")
+	)
+	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	file := &perf.File{Schema: perf.Schema, Go: runtime.Version()}
+	for _, spec := range bench.Suite() {
+		if *only != "" && !strings.Contains(spec.Name, *only) {
+			continue
+		}
+		res := runBest(spec, *repeat)
+		file.Results = append(file.Results, res)
+		fmt.Printf("%-32s %12d iters %14.1f ns/op %8.0f allocs/op", res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp)
+		for k, v := range res.Metrics {
+			fmt.Printf("  %s=%.2f", k, v)
+		}
+		fmt.Println()
+	}
+	if len(file.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "xflow-bench: no suite entry matches -only %q\n", *only)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		if err := file.Write(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "xflow-bench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
+	}
+
+	if *baseline != "" {
+		base, err := perf.Load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xflow-bench: load baseline: %v\n", err)
+			os.Exit(2)
+		}
+		rep := perf.Compare(base, file, *threshold)
+		fmt.Printf("\ncomparison vs %s (threshold %.0f%%):\n", *baseline, *threshold*100)
+		for _, d := range rep.Deltas {
+			fmt.Println(perf.FormatDelta(d))
+		}
+		for _, name := range rep.MissingFromCurrent {
+			fmt.Printf("%-40s MISSING from current run\n", name)
+		}
+		if !rep.OK() {
+			fmt.Fprintf(os.Stderr, "xflow-bench: %d regression(s), %d missing benchmark(s)\n",
+				len(rep.Regressions()), len(rep.MissingFromCurrent))
+			os.Exit(1)
+		}
+		fmt.Println("no regressions")
+	}
+}
+
+// runBest executes one suite entry `repeat` times and keeps the
+// fastest run. Best-of-N discards scheduler and turbo noise that a
+// single timed second cannot, which is what lets CI gate on a tight
+// threshold without flaking.
+func runBest(spec bench.Spec, repeat int) perf.Result {
+	var best perf.Result
+	for i := 0; i < repeat; i++ {
+		r := testing.Benchmark(spec.F)
+		res := perf.Result{
+			Name:        spec.Name,
+			Group:       spec.Group,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		if i == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
+	}
+	return best
+}

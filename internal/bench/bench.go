@@ -1,0 +1,246 @@
+// Package bench defines the fixed benchmark suite cmd/xflow-bench
+// runs: the simulation kernel's hot-path microbenches plus the
+// Figure-2/Figure-3 experiment benches, each expressed as a
+// func(*testing.B) so one binary can execute them via
+// testing.Benchmark and collect ns/op, allocs/op and the custom
+// metrics uniformly.
+//
+// The suite is intentionally small and stable: CI compares every run
+// against a checked-in baseline by benchmark name, so a benchmark that
+// disappears fails the comparison. Add new entries freely; rename or
+// remove only together with the baseline.
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crossflow"
+	"crossflow/internal/broker"
+	"crossflow/internal/cluster"
+	"crossflow/internal/core"
+	"crossflow/internal/experiments"
+	"crossflow/internal/storage"
+	"crossflow/internal/vclock"
+	"crossflow/internal/workload"
+)
+
+// Spec is one suite entry. Name is the identity CI diffs on; Group
+// buckets related entries for reporting ("kernel", "engine",
+// "experiment").
+type Spec struct {
+	Name  string
+	Group string
+	F     func(b *testing.B)
+}
+
+// Suite returns the fixed benchmark list in execution order.
+func Suite() []Spec {
+	return []Spec{
+		{"vclock_sleep_events", "kernel", benchSleepEvents},
+		{"vclock_mailbox_pingpong", "kernel", benchMailboxPingPong},
+		{"vclock_afterfunc_timers", "kernel", benchAfterFuncTimers},
+		{"broker_direct_send", "kernel", benchDirectSend},
+		{"broker_publish_fanout", "kernel", benchPublishFanout},
+		{"storage_cache_put_access", "kernel", benchCachePutAccess},
+		{"engine_throughput", "engine", benchEngineThroughput},
+		{"figure2_group1_fastslow_large", "experiment", benchFigure2Group1},
+		{"figure3_rep80small_fastslow", "experiment", benchFigure3Cell},
+	}
+}
+
+// --- kernel -----------------------------------------------------------------
+
+// benchSleepEvents measures raw event throughput of the simulated
+// clock: one goroutine sleeping in a tight loop.
+func benchSleepEvents(b *testing.B) {
+	s := vclock.NewSim()
+	b.ReportAllocs()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			s.Sleep(time.Second)
+		}
+	})
+	s.Wait()
+}
+
+// benchMailboxPingPong measures one full handoff cycle: send, wake,
+// receive, reply.
+func benchMailboxPingPong(b *testing.B) {
+	s := vclock.NewSim()
+	a, c := s.NewMailbox("a"), s.NewMailbox("b")
+	b.ReportAllocs()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			v, _ := a.Recv()
+			c.Send(v)
+		}
+	})
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			a.Send(i)
+			c.Recv()
+		}
+	})
+	s.Wait()
+}
+
+// benchAfterFuncTimers measures timer scheduling and firing.
+func benchAfterFuncTimers(b *testing.B) {
+	s := vclock.NewSim()
+	b.ReportAllocs()
+	s.Go(func() {
+		for i := 0; i < b.N; i++ {
+			done := s.NewMailbox("t")
+			s.AfterFunc(time.Second, func() { done.Send(struct{}{}) })
+			done.Recv()
+		}
+	})
+	s.Wait()
+}
+
+// benchDirectSend measures point-to-point delivery throughput on the
+// simulated clock with zero latency.
+func benchDirectSend(b *testing.B) {
+	sim := vclock.NewSim()
+	bus := broker.New(sim)
+	src := bus.Register("src", 0)
+	dst := bus.Register("dst", 0)
+	b.ReportAllocs()
+	sim.Go(func() {
+		for i := 0; i < b.N; i++ {
+			src.Send("dst", i)
+			dst.Inbox().Recv()
+		}
+	})
+	sim.Wait()
+}
+
+// benchPublishFanout measures a bid-request broadcast to a five-worker
+// fleet.
+func benchPublishFanout(b *testing.B) {
+	sim := vclock.NewSim()
+	bus := broker.New(sim)
+	master := bus.Register("master", 0)
+	subs := make([]*broker.Endpoint, 5)
+	for i := range subs {
+		subs[i] = bus.Register(string(rune('a'+i)), 0)
+		subs[i].Subscribe("bids")
+	}
+	b.ReportAllocs()
+	sim.Go(func() {
+		for i := 0; i < b.N; i++ {
+			master.Publish("bids", i)
+			for _, s := range subs {
+				s.Inbox().Recv()
+			}
+		}
+	})
+	sim.Wait()
+}
+
+// benchCachePutAccess measures the hot path of worker execution: one
+// Access plus one Put per job under steady eviction pressure.
+func benchCachePutAccess(b *testing.B) {
+	c := storage.New(1000)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("repo-%03d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if !c.Access(k) {
+			c.Put(k, 25)
+		}
+	}
+}
+
+// --- engine -----------------------------------------------------------------
+
+// benchEngineThroughput measures the simulator end to end: simulated
+// jobs executed per second of wall time, the capacity-planning number
+// for larger studies.
+func benchEngineThroughput(b *testing.B) {
+	const jobs = 120
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		workers := make([]*crossflow.Worker, 5)
+		for j := range workers {
+			workers[j] = crossflow.NewWorker(crossflow.WorkerSpec{
+				Name: fmt.Sprintf("w%d", j),
+				Net:  crossflow.Speed{BaseMBps: 25},
+				RW:   crossflow.Speed{BaseMBps: 100},
+				Seed: int64(j + 1),
+			})
+		}
+		wf := crossflow.NewWorkflow("bench")
+		wf.MustAddTask(crossflow.TaskSpec{Name: "t", Input: "jobs"})
+		arrivals := make([]crossflow.Arrival, jobs)
+		for j := range arrivals {
+			arrivals[j] = crossflow.Arrival{Job: &crossflow.Job{
+				Stream: "jobs", DataKey: fmt.Sprintf("r%d", j%40), DataSizeMB: 100,
+			}}
+		}
+		rep, err := crossflow.Run(crossflow.Config{
+			Workers: workers, Scheduler: crossflow.Bidding(), Workflow: wf, Arrivals: arrivals,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.JobsCompleted != jobs {
+			b.Fatalf("completed %d", rep.JobsCompleted)
+		}
+	}
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
+	}
+}
+
+// --- experiments ------------------------------------------------------------
+
+// benchFigure2Group1 regenerates Figure 2's first column group
+// (Spark-like vs Crossflow-Baseline, fast/slow fleet, all-different
+// large jobs) and reports the headline ratio alongside simulator cost.
+func benchFigure2Group1(b *testing.B) {
+	const jobsPerOp = 2 * 120 // two policies, one iteration each
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		spark, _ := core.PolicyByName("spark-like")
+		base, _ := core.PolicyByName("baseline")
+		cell, err := experiments.RunCell(workload.AllDiffLarge, cluster.FastSlow, experiments.SimOptions{
+			Iterations: 1, Seed: 1,
+			Policies: []core.Policy{spark, base},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = cell.Series["spark-like"].MeanSeconds() / cell.Series["baseline"].MeanSeconds()
+	}
+	b.ReportMetric(ratio, "spark_over_crossflow_ratio")
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N*jobsPerOp)/elapsed, "sim_jobs_per_sec")
+	}
+}
+
+// benchFigure3Cell regenerates one Figure-3 cell (Bidding vs Baseline,
+// repetitive-small workload on the fast/slow fleet, the paper's
+// three warm-cache iterations) and reports the speedup metric.
+func benchFigure3Cell(b *testing.B) {
+	const jobsPerOp = 2 * 3 * 120 // two policies, three iterations each
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		cell, err := experiments.RunCell(workload.Rep80Small, cluster.FastSlow,
+			experiments.SimOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = cell.Series["baseline"].MeanSeconds() / cell.Series["bidding"].MeanSeconds()
+	}
+	b.ReportMetric(speedup, "speedup_ratio")
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N*jobsPerOp)/elapsed, "sim_jobs_per_sec")
+	}
+}

@@ -6,7 +6,7 @@
 // an Endpoint and owns a single inbox Mailbox, actor style. Endpoints
 // exchange direct messages and publish/subscribe on named topics; all
 // deliveries land in the receiving endpoint's inbox wrapped in an
-// Envelope. Delivery is asynchronous with a configurable per-link
+// *Envelope. Delivery is asynchronous with a configurable per-link
 // latency, applied through the clock so that the simulated and live
 // engines share one code path.
 package broker
@@ -22,6 +22,8 @@ import (
 )
 
 // Envelope wraps every message delivered to an endpoint's inbox.
+// Deliveries arrive as *Envelope: a topic fanout shares one envelope
+// across all subscribers, so receivers must treat it as read-only.
 type Envelope struct {
 	// From is the name of the sending endpoint.
 	From string
@@ -42,6 +44,18 @@ type Envelope struct {
 // endpoint to another. Implementations may add jitter; they are called
 // under the broker lock and must not block.
 type DelayFunc func(from, to *Endpoint) time.Duration
+
+// defaultDelay is the link-sum delivery model.
+func defaultDelay(from, to *Endpoint) time.Duration {
+	var d time.Duration
+	if from != nil {
+		d += from.link
+	}
+	if to != nil {
+		d += to.link
+	}
+	return d
+}
 
 // DropFunc decides whether one delivery is lost in transit. It is
 // consulted once per direct message and once per topic-fanout target,
@@ -73,29 +87,19 @@ type Broker struct {
 	mu        sync.Mutex
 	drop      DropFunc
 	endpoints map[string]*Endpoint
-	topics    map[string]map[string]*Endpoint // topic -> subscriber name -> endpoint
+	topics    map[string][]*Endpoint // topic -> subscribers, sorted by name
 	stats     Stats
 }
 
 // New returns a broker on the given clock. The default delivery delay is
 // the sum of the two endpoints' link latencies.
 func New(clk vclock.Clock) *Broker {
-	b := &Broker{
+	return &Broker{
 		clk:       clk,
+		delay:     defaultDelay,
 		endpoints: make(map[string]*Endpoint),
-		topics:    make(map[string]map[string]*Endpoint),
+		topics:    make(map[string][]*Endpoint),
 	}
-	b.delay = func(from, to *Endpoint) time.Duration {
-		var d time.Duration
-		if from != nil {
-			d += from.link
-		}
-		if to != nil {
-			d += to.link
-		}
-		return d
-	}
-	return b
 }
 
 // SetDelayFunc replaces the delivery-delay model. Passing nil restores
@@ -104,16 +108,7 @@ func (b *Broker) SetDelayFunc(f DelayFunc) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if f == nil {
-		f = func(from, to *Endpoint) time.Duration {
-			var d time.Duration
-			if from != nil {
-				d += from.link
-			}
-			if to != nil {
-				d += to.link
-			}
-			return d
-		}
+		f = defaultDelay
 	}
 	b.delay = f
 }
@@ -147,6 +142,7 @@ func (b *Broker) Register(name string, link time.Duration) *Endpoint {
 		name:   name,
 		link:   link,
 		inbox:  b.clk.NewMailbox("inbox:" + name),
+		skewTo: make(map[string]time.Duration),
 	}
 	b.endpoints[name] = ep
 	return ep
@@ -180,14 +176,14 @@ func (b *Broker) send(from *Endpoint, to string, payload any) bool {
 		b.mu.Unlock()
 		return false
 	}
-	env := Envelope{From: from.name, To: to, Payload: payload, SentAt: b.clk.Now()}
-	if b.drop != nil && b.drop(env, to) {
+	env := &Envelope{From: from.name, To: to, Payload: payload, SentAt: b.clk.Now()}
+	if b.drop != nil && b.drop(*env, to) {
 		// Lost in transit: the sender cannot tell, so report delivered.
 		b.stats.Dropped++
 		b.mu.Unlock()
 		return true
 	}
-	d := b.delay(from, dst) + routeSkew(from.name, to)
+	d := b.delay(from, dst) + from.skewLocked(to)
 	b.stats.Direct++
 	b.mu.Unlock()
 	b.deliver(dst, env, d)
@@ -217,49 +213,70 @@ func routeSkew(from, to string) time.Duration {
 	return time.Duration(h.Sum64() & maxRouteSkew)
 }
 
+// skewLocked returns routeSkew(ep.name, to), memoized per route so the
+// steady-state delivery path never re-hashes. Caller holds broker.mu.
+func (ep *Endpoint) skewLocked(to string) time.Duration {
+	if d, ok := ep.skewTo[to]; ok {
+		return d
+	}
+	d := routeSkew(ep.name, to)
+	ep.skewTo[to] = d
+	return d
+}
+
+// delivery is one scheduled fanout target.
+type delivery struct {
+	ep *Endpoint
+	d  time.Duration
+}
+
+// fanoutPool recycles the per-publish target scratch so steady-state
+// publishing allocates only the shared envelope.
+var fanoutPool = sync.Pool{New: func() any { return new([]delivery) }}
+
 // publish fans a message out to every subscriber of topic.
 func (b *Broker) publish(from *Endpoint, topic string, payload any) int {
+	scratch := fanoutPool.Get().(*[]delivery)
 	b.mu.Lock()
 	b.stats.Published++
 	if from.down {
 		b.stats.Dropped++
 		b.mu.Unlock()
+		fanoutPool.Put(scratch)
 		return 0
 	}
-	env := Envelope{From: from.name, Topic: topic, Payload: payload, SentAt: b.clk.Now()}
-	subs := b.topics[topic]
-	// Fan out in name order: map iteration order is random per run, and
-	// the order deliveries are scheduled in breaks ties between equal
-	// deadlines — determinism requires it to be stable.
-	names := make([]string, 0, len(subs))
-	for n := range subs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	targets := make([]*Endpoint, 0, len(subs))
-	delays := make([]time.Duration, 0, len(subs))
-	for _, n := range names {
-		ep := subs[n]
+	env := &Envelope{From: from.name, Topic: topic, Payload: payload, SentAt: b.clk.Now()}
+	// The subscriber list is kept sorted by name on (un)subscribe: the
+	// order deliveries are scheduled in breaks ties between equal
+	// deadlines, so determinism requires it to be stable — and sorting
+	// once per membership change beats sorting once per publish.
+	targets := (*scratch)[:0]
+	for _, ep := range b.topics[topic] {
 		if ep.down {
 			continue
 		}
-		if b.drop != nil && b.drop(env, ep.name) {
+		if b.drop != nil && b.drop(*env, ep.name) {
 			b.stats.Dropped++
 			continue
 		}
-		targets = append(targets, ep)
-		delays = append(delays, b.delay(from, ep)+routeSkew(from.name, ep.name))
+		targets = append(targets, delivery{ep: ep, d: b.delay(from, ep) + from.skewLocked(ep.name)})
 	}
 	b.stats.Fanout += int64(len(targets))
 	b.mu.Unlock()
-	for i, ep := range targets {
-		b.deliver(ep, env, delays[i])
+	for _, t := range targets {
+		b.deliver(t.ep, env, t.d)
 	}
-	return len(targets)
+	n := len(targets)
+	for i := range targets {
+		targets[i] = delivery{}
+	}
+	*scratch = targets[:0]
+	fanoutPool.Put(scratch)
+	return n
 }
 
 // deliver places env in dst's inbox after delay d of clock time.
-func (b *Broker) deliver(dst *Endpoint, env Envelope, d time.Duration) {
+func (b *Broker) deliver(dst *Endpoint, env *Envelope, d time.Duration) {
 	if d <= 0 {
 		dst.inbox.Send(env)
 		return
@@ -267,23 +284,33 @@ func (b *Broker) deliver(dst *Endpoint, env Envelope, d time.Duration) {
 	b.clk.AfterFunc(d, func() { dst.inbox.Send(env) })
 }
 
-// subscribe adds ep to topic.
+// subscribe adds ep to topic, keeping the subscriber list name-sorted.
 func (b *Broker) subscribe(ep *Endpoint, topic string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	subs := b.topics[topic]
-	if subs == nil {
-		subs = make(map[string]*Endpoint)
-		b.topics[topic] = subs
+	i := sort.Search(len(subs), func(i int) bool { return subs[i].name >= ep.name })
+	if i < len(subs) && subs[i].name == ep.name {
+		return // already subscribed
 	}
-	subs[ep.name] = ep
+	subs = append(subs, nil)
+	copy(subs[i+1:], subs[i:])
+	subs[i] = ep
+	b.topics[topic] = subs
 }
 
 // unsubscribe removes ep from topic.
 func (b *Broker) unsubscribe(ep *Endpoint, topic string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.topics[topic], ep.name)
+	subs := b.topics[topic]
+	i := sort.Search(len(subs), func(i int) bool { return subs[i].name >= ep.name })
+	if i >= len(subs) || subs[i].name != ep.name {
+		return
+	}
+	copy(subs[i:], subs[i+1:])
+	subs[len(subs)-1] = nil
+	b.topics[topic] = subs[:len(subs)-1]
 }
 
 // setDown marks ep connected or disconnected.
@@ -299,7 +326,8 @@ type Endpoint struct {
 	name   string
 	link   time.Duration
 	inbox  vclock.Mailbox
-	down   bool // guarded by broker.mu
+	down   bool                     // guarded by broker.mu
+	skewTo map[string]time.Duration // memoized routeSkew, guarded by broker.mu
 }
 
 // Name returns the endpoint's registered name.
@@ -309,7 +337,7 @@ func (ep *Endpoint) Name() string { return ep.name }
 func (ep *Endpoint) Link() time.Duration { return ep.link }
 
 // Inbox returns the endpoint's delivery mailbox. Every message arrives
-// as an Envelope.
+// as an *Envelope.
 func (ep *Endpoint) Inbox() vclock.Mailbox { return ep.inbox }
 
 // Send delivers payload directly to the endpoint named to. It reports

@@ -23,7 +23,7 @@ func TestDirectSendArrivesAfterLinkLatency(t *testing.T) {
 			t.Error("inbox closed")
 			return
 		}
-		env = v.(Envelope)
+		env = *v.(*Envelope)
 		at = sim.Now()
 	})
 	sim.Wait()
@@ -68,7 +68,7 @@ func TestPublishFansOutToSubscribersOnly(t *testing.T) {
 		n = pub.Publish("jobs", "job-1")
 		for _, s := range subs {
 			v, _ := s.Inbox().Recv()
-			env := v.(Envelope)
+			env := v.(*Envelope)
 			if env.Topic != "jobs" {
 				t.Errorf("Topic = %q", env.Topic)
 			}
@@ -209,7 +209,7 @@ func TestMessageOrderingPreservedPerLink(t *testing.T) {
 	sim.Go(func() {
 		for i := 0; i < n; i++ {
 			v, _ := c.Inbox().Recv()
-			got = append(got, v.(Envelope).Payload.(int))
+			got = append(got, v.(*Envelope).Payload.(int))
 		}
 	})
 	sim.Wait()
@@ -260,7 +260,7 @@ func TestDropFuncLosesDirectSends(t *testing.T) {
 	sim.Go(func() {
 		for i := 0; i < 3; i++ {
 			v, _ := c.Inbox().Recv()
-			got = append(got, v.(Envelope).Payload.(int))
+			got = append(got, v.(*Envelope).Payload.(int))
 		}
 	})
 	sim.Wait()
@@ -325,7 +325,7 @@ func TestBrokerOnRealClock(t *testing.T) {
 	done := make(chan Envelope, 1)
 	go func() {
 		v, _ := c.Inbox().Recv()
-		done <- v.(Envelope)
+		done <- *v.(*Envelope)
 	}()
 	a.Send("c", "live")
 	select {

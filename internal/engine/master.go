@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"crossflow/internal/broker"
@@ -66,9 +67,12 @@ func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 		arrivals:        arrivals,
 		expectedWorkers: expectedWorkers,
 		rng:             rng,
-		records:         make(map[string]*JobRecord),
-		workerSet:       make(map[string]bool),
-		arrivalsLeft:    len(arrivals),
+		// Sized for the input stream; tasks that emit downstream jobs
+		// grow them past this, but the common case never rehashes.
+		records:      make(map[string]*JobRecord, len(arrivals)),
+		order:        make([]string, 0, len(arrivals)),
+		workerSet:    make(map[string]bool),
+		arrivalsLeft: len(arrivals),
 	}
 }
 
@@ -115,7 +119,7 @@ func (m *Master) Report() *Report {
 // Inject delivers a payload into the master's actor loop from outside
 // (fault-injection hooks, tests). Safe to call from any goroutine.
 func (m *Master) Inject(payload any) {
-	m.ep.Inbox().Send(broker.Envelope{From: m.ep.Name(), To: m.ep.Name(), Payload: payload})
+	m.ep.Inbox().Send(&broker.Envelope{From: m.ep.Name(), To: m.ep.Name(), Payload: payload})
 }
 
 // run is the master actor loop. It returns when the workflow completes.
@@ -125,7 +129,7 @@ func (m *Master) run() {
 		if !ok {
 			return
 		}
-		env, ok := v.(broker.Envelope)
+		env, ok := v.(*broker.Envelope)
 		if !ok {
 			continue
 		}
@@ -135,7 +139,7 @@ func (m *Master) run() {
 	}
 }
 
-func (m *Master) handle(env broker.Envelope) (done bool) {
+func (m *Master) handle(env *broker.Envelope) (done bool) {
 	switch msg := env.Payload.(type) {
 	case MsgRegister:
 		m.onRegister(msg.Worker)
@@ -204,7 +208,7 @@ func (m *Master) onRegister(worker string) {
 // as a result if no task consumes its stream).
 func (m *Master) inject(job *Job) {
 	if job.ID == "" {
-		job.ID = fmt.Sprintf("job-%04d", m.nextID)
+		job.ID = formatJobID(m.nextID)
 	}
 	m.nextID++
 	rec := &JobRecord{Job: job, Status: StatusPending, Injected: m.clk.Now()}
@@ -311,6 +315,20 @@ func (m *Master) maybeFinish() bool {
 	m.endTime = m.clk.Now()
 	m.ep.Publish(TopicControl, MsgStop{})
 	return true
+}
+
+// formatJobID renders "job-%04d" without fmt's reflection cost — the
+// per-job loop calls it for every auto-assigned ID.
+func formatJobID(n int) string {
+	var buf [16]byte
+	b := strconv.AppendInt(buf[:0], int64(n), 10)
+	id := make([]byte, 0, len("job-")+4+len(b))
+	id = append(id, "job-"...)
+	for pad := 4 - len(b); pad > 0; pad-- {
+		id = append(id, '0')
+	}
+	id = append(id, b...)
+	return string(id)
 }
 
 // done reports whether the master's actor loop has terminated (normally

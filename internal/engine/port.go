@@ -6,8 +6,8 @@ import "crossflow/internal/vclock"
 // broker's Endpoint implements it for simulated (and single-process
 // live) runs; the transport package's Client implements it over TCP for
 // real multi-process deployments. Deliveries arrive in the Inbox as
-// broker.Envelope values either way, which is what lets the master and
-// worker code run unchanged in both modes.
+// *broker.Envelope pointers either way, which is what lets the master
+// and worker code run unchanged in both modes.
 type Port interface {
 	// Name returns the node's registered endpoint name.
 	Name() string

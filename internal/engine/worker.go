@@ -55,6 +55,7 @@ type Worker struct {
 
 	mu           sync.Mutex
 	queuedCosts  map[string]time.Duration
+	queuedTotal  time.Duration  // running sum of queuedCosts
 	pendingData  map[string]int // data keys unfinished queued jobs will fetch
 	currentJob   string
 	currentEst   time.Duration
@@ -203,7 +204,7 @@ func (w *Worker) commsLoop() {
 			w.shutdown()
 			return
 		}
-		env, ok := v.(broker.Envelope)
+		env, ok := v.(*broker.Envelope)
 		if !ok {
 			continue
 		}
@@ -259,6 +260,7 @@ func (w *Worker) execute(job *Job) {
 	w.currentJob = job.ID
 	w.currentEst = w.queuedCosts[job.ID]
 	w.currentStart = w.clk.Now()
+	w.queuedTotal -= w.currentEst
 	delete(w.queuedCosts, job.ID)
 	w.mu.Unlock()
 
@@ -300,7 +302,11 @@ func (w *Worker) execute(job *Job) {
 // believed cost.
 func (w *Worker) enqueue(job *Job, est time.Duration) {
 	w.mu.Lock()
+	if prev, dup := w.queuedCosts[job.ID]; dup {
+		w.queuedTotal -= prev
+	}
 	w.queuedCosts[job.ID] = est
+	w.queuedTotal += est
 	if job.DataKey != "" {
 		w.pendingData[job.DataKey]++
 	}
@@ -348,10 +354,9 @@ func (w *Worker) Heartbeat() time.Duration { return w.heartbeat }
 func (w *Worker) QueuedCost() time.Duration {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var total time.Duration
-	for _, c := range w.queuedCosts {
-		total += c
-	}
+	// Maintained incrementally on enqueue/dequeue: bid estimation calls
+	// this for every contest, so it must not scan the queue.
+	total := w.queuedTotal
 	if w.currentJob != "" {
 		remaining := w.currentEst - w.clk.Since(w.currentStart)
 		if remaining > 0 {

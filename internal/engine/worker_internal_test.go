@@ -100,6 +100,7 @@ func TestQueuedCostSumsUnfinishedWork(t *testing.T) {
 	w.currentJob = "a"
 	w.currentEst = w.queuedCosts["a"]
 	w.currentStart = sim.Now()
+	w.queuedTotal -= w.currentEst
 	delete(w.queuedCosts, "a")
 	w.mu.Unlock()
 	sim.Go(func() { sim.Sleep(4 * time.Second) })

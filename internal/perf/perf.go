@@ -1,0 +1,179 @@
+// Package perf defines the machine-readable benchmark interchange
+// format emitted by cmd/xflow-bench (BENCH_*.json) and a comparator
+// that diffs two such files, so CI can fail a push that regresses a
+// kernel hot path beyond a configured threshold.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifies the bench-file format this package reads and writes.
+const Schema = "xflow-bench/v1"
+
+// Result is one benchmark's measurements. Metrics holds the custom
+// b.ReportMetric values keyed by their unit — snake_case, unit-suffixed
+// (e.g. "sim_jobs_per_sec"), the convention every suite in this repo
+// follows so results parse uniformly.
+type Result struct {
+	Name        string             `json:"name"`
+	Group       string             `json:"group,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is a complete benchmark run.
+type File struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Load reads and validates a bench file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates bench-file bytes.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("perf: malformed bench file: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("perf: unsupported schema %q (want %q)", f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Write marshals f to path with stable formatting (results sorted by
+// name, indented), so checked-in baselines diff cleanly.
+func (f *File) Write(path string) error {
+	sort.Slice(f.Results, func(i, j int) bool { return f.Results[i].Name < f.Results[j].Name })
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta is one metric's change between a baseline and a current run.
+// Pct is the relative change: positive means the metric grew.
+type Delta struct {
+	Name   string
+	Metric string
+	Base   float64
+	Cur    float64
+	Pct    float64
+	// Regression marks a gating metric (ns_per_op, allocs_per_op) that
+	// grew beyond the comparison threshold.
+	Regression bool
+}
+
+// Report is the outcome of comparing two bench files.
+type Report struct {
+	Deltas []Delta
+	// MissingFromCurrent lists baseline benchmarks the current run did
+	// not execute — a silently shrunk suite must not pass as "no
+	// regressions".
+	MissingFromCurrent []string
+}
+
+// Regressions returns the deltas that exceeded the threshold.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OK reports whether the comparison found no regressions and no missing
+// benchmarks.
+func (r *Report) OK() bool {
+	return len(r.MissingFromCurrent) == 0 && len(r.Regressions()) == 0
+}
+
+// gating metrics: growth beyond the threshold fails the comparison.
+// Custom metrics are reported informationally — their direction
+// (higher-is-better vs lower-is-better) is benchmark-specific.
+var gating = []string{"ns_per_op", "allocs_per_op"}
+
+// Compare diffs cur against base. threshold is the relative growth a
+// gating metric may show before it counts as a regression (0.15 = 15%).
+func Compare(base, cur *File, threshold float64) *Report {
+	curByName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	rep := &Report{}
+	for _, b := range base.Results {
+		c, ok := curByName[b.Name]
+		if !ok {
+			rep.MissingFromCurrent = append(rep.MissingFromCurrent, b.Name)
+			continue
+		}
+		for _, metric := range gating {
+			bv, cv := gatingValue(b, metric), gatingValue(c, metric)
+			d := Delta{Name: b.Name, Metric: metric, Base: bv, Cur: cv, Pct: pctChange(bv, cv)}
+			d.Regression = bv > 0 && d.Pct > threshold
+			rep.Deltas = append(rep.Deltas, d)
+		}
+		for metric, bv := range b.Metrics {
+			if cv, ok := c.Metrics[metric]; ok {
+				rep.Deltas = append(rep.Deltas, Delta{
+					Name: b.Name, Metric: metric, Base: bv, Cur: cv, Pct: pctChange(bv, cv),
+				})
+			}
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Name != rep.Deltas[j].Name {
+			return rep.Deltas[i].Name < rep.Deltas[j].Name
+		}
+		return rep.Deltas[i].Metric < rep.Deltas[j].Metric
+	})
+	sort.Strings(rep.MissingFromCurrent)
+	return rep
+}
+
+func gatingValue(r Result, metric string) float64 {
+	switch metric {
+	case "ns_per_op":
+		return r.NsPerOp
+	case "allocs_per_op":
+		return r.AllocsPerOp
+	}
+	return 0
+}
+
+// pctChange returns (cur-base)/base, with a zero baseline treated as no
+// change (a metric appearing from zero has no meaningful ratio).
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+// FormatDelta renders one delta for human consumption.
+func FormatDelta(d Delta) string {
+	marker := ""
+	if d.Regression {
+		marker = "  REGRESSION"
+	}
+	return fmt.Sprintf("%-40s %-22s %14.2f -> %14.2f  (%+.1f%%)%s",
+		d.Name, d.Metric, d.Base, d.Cur, d.Pct*100, marker)
+}

@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func file(results ...Result) *File {
+	return &File{Schema: Schema, Results: results}
+}
+
+func TestCompareFlagsRegressionsOverThreshold(t *testing.T) {
+	base := file(
+		Result{Name: "vclock_sleep", NsPerOp: 100, AllocsPerOp: 2},
+		Result{Name: "broker_send", NsPerOp: 800, AllocsPerOp: 6},
+	)
+	cur := file(
+		Result{Name: "vclock_sleep", NsPerOp: 120, AllocsPerOp: 2}, // +20% ns/op
+		Result{Name: "broker_send", NsPerOp: 820, AllocsPerOp: 6},  // +2.5%
+	)
+	rep := Compare(base, cur, 0.15)
+	regs := rep.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("Regressions = %d, want 1: %+v", len(regs), regs)
+	}
+	if regs[0].Name != "vclock_sleep" || regs[0].Metric != "ns_per_op" {
+		t.Errorf("flagged %s/%s, want vclock_sleep/ns_per_op", regs[0].Name, regs[0].Metric)
+	}
+	if rep.OK() {
+		t.Error("report with a regression must not be OK")
+	}
+}
+
+func TestCompareWithinThresholdIsOK(t *testing.T) {
+	base := file(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 10})
+	cur := file(Result{Name: "b", NsPerOp: 114, AllocsPerOp: 11})
+	if rep := Compare(base, cur, 0.15); !rep.OK() {
+		t.Errorf("within-threshold growth flagged: %+v", rep.Regressions())
+	}
+}
+
+func TestCompareImprovementIsNeverARegression(t *testing.T) {
+	base := file(Result{Name: "b", NsPerOp: 1000, AllocsPerOp: 50})
+	cur := file(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 1})
+	if rep := Compare(base, cur, 0.15); !rep.OK() {
+		t.Errorf("improvement flagged as regression: %+v", rep.Regressions())
+	}
+}
+
+func TestCompareAllocsGateIndependently(t *testing.T) {
+	base := file(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 10})
+	cur := file(Result{Name: "b", NsPerOp: 100, AllocsPerOp: 20})
+	regs := Compare(base, cur, 0.15).Regressions()
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("Regressions = %+v, want one allocs_per_op entry", regs)
+	}
+}
+
+func TestCompareMissingBenchmarkFailsComparison(t *testing.T) {
+	base := file(Result{Name: "kept", NsPerOp: 1}, Result{Name: "dropped", NsPerOp: 1})
+	cur := file(Result{Name: "kept", NsPerOp: 1})
+	rep := Compare(base, cur, 0.15)
+	if rep.OK() {
+		t.Error("missing benchmark passed the comparison")
+	}
+	if len(rep.MissingFromCurrent) != 1 || rep.MissingFromCurrent[0] != "dropped" {
+		t.Errorf("MissingFromCurrent = %v, want [dropped]", rep.MissingFromCurrent)
+	}
+}
+
+func TestCompareNewBenchmarkInCurrentIsNotAFailure(t *testing.T) {
+	base := file(Result{Name: "old", NsPerOp: 1})
+	cur := file(Result{Name: "old", NsPerOp: 1}, Result{Name: "new", NsPerOp: 1})
+	if rep := Compare(base, cur, 0.15); !rep.OK() {
+		t.Error("a freshly added benchmark must not fail the baseline comparison")
+	}
+}
+
+func TestCompareCustomMetricsAreInformational(t *testing.T) {
+	base := file(Result{Name: "b", NsPerOp: 1, Metrics: map[string]float64{"sim_jobs_per_sec": 1000}})
+	cur := file(Result{Name: "b", NsPerOp: 1, Metrics: map[string]float64{"sim_jobs_per_sec": 10}})
+	rep := Compare(base, cur, 0.15)
+	if !rep.OK() {
+		t.Error("custom-metric change must not gate")
+	}
+	var found bool
+	for _, d := range rep.Deltas {
+		if d.Metric == "sim_jobs_per_sec" {
+			found = true
+			if d.Pct > -0.98 || d.Pct < -1.0 {
+				t.Errorf("Pct = %v, want ~-0.99", d.Pct)
+			}
+		}
+	}
+	if !found {
+		t.Error("custom metric missing from deltas")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f := file(
+		Result{Name: "z", Group: "kernel", Iterations: 10, NsPerOp: 2, AllocsPerOp: 1, BytesPerOp: 8},
+		Result{Name: "a", Group: "engine", Iterations: 5, NsPerOp: 3,
+			Metrics: map[string]float64{"sim_jobs_per_sec": 5}},
+	)
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].Name != "a" || got.Results[1].Name != "z" {
+		t.Errorf("round trip lost ordering or results: %+v", got.Results)
+	}
+	if got.Results[0].Metrics["sim_jobs_per_sec"] != 5 {
+		t.Error("custom metric lost in round trip")
+	}
+}
+
+func TestParseRejectsWrongSchema(t *testing.T) {
+	if _, err := Parse([]byte(`{"schema":"other/v9","results":[]}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := Parse([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); !os.IsNotExist(err) {
+		t.Errorf("err = %v, want IsNotExist", err)
+	}
+}

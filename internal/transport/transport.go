@@ -166,12 +166,12 @@ func (s *Server) handle(conn net.Conn) {
 			if !ok {
 				return
 			}
-			env, ok := v.(broker.Envelope)
+			env, ok := v.(*broker.Envelope)
 			if !ok {
 				continue
 			}
 			encMu.Lock()
-			err := enc.Encode(frame{Kind: kindDelivery, Env: env})
+			err := enc.Encode(frame{Kind: kindDelivery, Env: *env})
 			encMu.Unlock()
 			if err != nil {
 				return
@@ -261,7 +261,8 @@ func (c *Client) recvLoop() {
 		}
 		switch f.Kind {
 		case kindDelivery:
-			c.inbox.Send(f.Env)
+			env := f.Env
+			c.inbox.Send(&env)
 		case kindPubAck:
 			c.mu.Lock()
 			ch := c.acks[f.Seq]

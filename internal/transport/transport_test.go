@@ -64,7 +64,7 @@ func TestClientServerBasicDelivery(t *testing.T) {
 	if !ok || timedOut {
 		t.Fatal("delivery never arrived")
 	}
-	env := v.(broker.Envelope)
+	env := v.(*broker.Envelope)
 	if env.From != "a" || env.Payload.(engine.MsgRegister).Worker != "a" {
 		t.Errorf("envelope = %+v", env)
 	}
@@ -293,7 +293,7 @@ func TestWireRoundTripAllMessages(t *testing.T) {
 		if !ok || timedOut {
 			t.Fatalf("payload %d (%T): never delivered", i, payload)
 		}
-		env := v.(broker.Envelope)
+		env := v.(*broker.Envelope)
 		if fmt.Sprintf("%T", env.Payload) != fmt.Sprintf("%T", payload) {
 			t.Fatalf("payload %d: type %T became %T", i, payload, env.Payload)
 		}
@@ -301,7 +301,7 @@ func TestWireRoundTripAllMessages(t *testing.T) {
 	// Spot-check deep fields survive.
 	a.Send("b", engine.MsgAssign{Job: job, EstimatedCost: time.Minute})
 	v, _, _ := b.Inbox().RecvTimeout(5 * time.Second)
-	got := v.(broker.Envelope).Payload.(engine.MsgAssign)
+	got := v.(*broker.Envelope).Payload.(engine.MsgAssign)
 	if got.Job.DataSizeMB != 12.5 || got.Job.CostHint != time.Second || got.EstimatedCost != time.Minute {
 		t.Errorf("MsgAssign fields lost: %+v", got)
 	}

@@ -99,14 +99,24 @@ type Mailbox interface {
 // Timer is a cancellable pending call created by Clock.AfterFunc.
 type Timer struct {
 	// stop attempts to cancel the pending call. It reports whether the
-	// call was cancelled before firing.
+	// call was cancelled before firing. Wall-clock timers use it;
+	// simulated timers carry their state directly (sim, af) so creating
+	// one costs no closure.
 	stop func() bool
+	sim  *Sim
+	af   *afterFuncCall
 }
 
 // Stop cancels the timer. It reports true if the call was prevented from
 // running, false if it already fired or was previously stopped.
 func (t *Timer) Stop() bool {
-	if t == nil || t.stop == nil {
+	if t == nil {
+		return false
+	}
+	if t.sim != nil {
+		return t.sim.stopAfterFunc(t.af)
+	}
+	if t.stop == nil {
 		return false
 	}
 	return t.stop()

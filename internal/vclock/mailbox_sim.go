@@ -1,11 +1,19 @@
 package vclock
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
-// mbWaiter is one goroutine parked in a mailbox receive. The waker (a
-// sender, the close path, or a timeout event) fills in the outcome and
-// signals ch; ownership of the "runnable" credit transfers with the
-// signal, so simulated time can never advance past a delivery in flight.
+// mbWaiter is one goroutine parked in a mailbox receive (or a Sleep).
+// The waker (a sender, the close path, or a timeout event) fills in the
+// outcome and signals ch; ownership of the "runnable" credit transfers
+// with the signal, so simulated time can never advance past a delivery
+// in flight.
+//
+// Waiters are pooled: gen increments on every reuse, and timer events
+// that reference a waiter capture the generation they were scheduled
+// against, so a stale timeout can never wake the waiter's next life.
 type mbWaiter struct {
 	ch       chan struct{}
 	item     any
@@ -13,23 +21,85 @@ type mbWaiter struct {
 	timedOut bool
 	done     bool // set by whichever path wakes the waiter first
 	tag      uint64
+	gen      uint64
+}
+
+var waiterPool = sync.Pool{
+	New: func() any { return &mbWaiter{ch: make(chan struct{}, 1)} },
+}
+
+// getWaiter returns a reset waiter on a fresh generation. The signal
+// channel is reusable as-is: every use consumes exactly one signal.
+func getWaiter() *mbWaiter {
+	w := waiterPool.Get().(*mbWaiter)
+	w.gen++
+	w.item, w.ok, w.timedOut, w.done = nil, false, false, false
+	return w
+}
+
+// putWaiter recycles w. Callers must have received w's signal (so no
+// waker still holds it) — pending timer events are fenced off by gen.
+func putWaiter(w *mbWaiter) { waiterPool.Put(w) }
+
+// ring is a FIFO queue over a reusable circular buffer, so a mailbox
+// that churns through messages stops allocating once its buffer has
+// grown to the high-water mark (append+reslice would leak capacity on
+// every dequeue instead).
+type ring struct {
+	buf  []any
+	head int
+	n    int
+}
+
+func (q *ring) len() int { return q.n }
+
+func (q *ring) push(v any) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+func (q *ring) pop() any {
+	v := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+// grow doubles the buffer (power-of-two sizes keep the index mask
+// cheap), unwrapping the queue into the new buffer.
+func (q *ring) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]any, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // simMailbox implements Mailbox for the simulated clock. All state is
 // guarded by the clock's global mutex, which is what allows timer events
 // (fired with that mutex held) to deliver timeouts directly.
 type simMailbox struct {
-	s      *Sim
-	name   string
-	queue  []any
-	waitq  []*mbWaiter
-	closed bool
+	s       *Sim
+	name    string
+	recvTag string // "recv:"+name, precomputed off the hot path
+	queue   ring
+	waitq   []*mbWaiter
+	closed  bool
 }
 
 // NewMailbox returns a mailbox whose blocking receive participates in
 // simulated-time advancement.
 func (s *Sim) NewMailbox(name string) Mailbox {
-	return &simMailbox{s: s, name: name}
+	return &simMailbox{s: s, name: name, recvTag: "recv:" + name}
 }
 
 func (m *simMailbox) Name() string { return m.name }
@@ -43,17 +113,17 @@ func (m *simMailbox) Send(v any) bool {
 	if w := m.popWaiterLocked(); w != nil {
 		w.item = v
 		w.ok = true
-		m.wakeLocked(w)
+		m.s.wakeLocked(w)
 		return true
 	}
-	m.queue = append(m.queue, v)
+	m.queue.push(v)
 	return true
 }
 
 func (m *simMailbox) Recv() (any, bool) {
 	m.s.mu.Lock()
-	if len(m.queue) > 0 {
-		v := m.dequeueLocked()
+	if m.queue.len() > 0 {
+		v := m.queue.pop()
 		m.s.mu.Unlock()
 		return v, true
 	}
@@ -64,13 +134,15 @@ func (m *simMailbox) Recv() (any, bool) {
 	w := m.parkLocked()
 	m.s.mu.Unlock()
 	<-w.ch
-	return w.item, w.ok
+	v, ok := w.item, w.ok
+	putWaiter(w)
+	return v, ok
 }
 
 func (m *simMailbox) RecvTimeout(d time.Duration) (any, bool, bool) {
 	m.s.mu.Lock()
-	if len(m.queue) > 0 {
-		v := m.dequeueLocked()
+	if m.queue.len() > 0 {
+		v := m.queue.pop()
 		m.s.mu.Unlock()
 		return v, true, false
 	}
@@ -85,27 +157,22 @@ func (m *simMailbox) RecvTimeout(d time.Duration) (any, bool, bool) {
 	w := m.registerLocked()
 	// Schedule the timeout before releasing the runnable credit: parking
 	// with no pending wake-up would be (mis)diagnosed as a deadlock.
-	m.s.scheduleLocked(d, func() {
-		if w.done {
-			return
-		}
-		m.removeWaiterLocked(w)
-		w.timedOut = true
-		m.wakeLocked(w)
-	})
+	m.s.scheduleLocked(d, timerEvent{kind: evTimeout, w: w, gen: w.gen, mb: m})
 	m.s.blockLocked()
 	m.s.mu.Unlock()
 	<-w.ch
-	return w.item, w.ok, w.timedOut
+	v, ok, timedOut := w.item, w.ok, w.timedOut
+	putWaiter(w)
+	return v, ok, timedOut
 }
 
 func (m *simMailbox) TryRecv() (any, bool) {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
-	if len(m.queue) == 0 {
+	if m.queue.len() == 0 {
 		return nil, false
 	}
-	return m.dequeueLocked(), true
+	return m.queue.pop(), true
 }
 
 func (m *simMailbox) Close() {
@@ -117,7 +184,7 @@ func (m *simMailbox) Close() {
 	m.closed = true
 	for _, w := range m.waitq {
 		w.ok = false
-		m.wakeLocked(w)
+		m.s.wakeLocked(w)
 	}
 	m.waitq = nil
 }
@@ -125,14 +192,15 @@ func (m *simMailbox) Close() {
 func (m *simMailbox) Len() int {
 	m.s.mu.Lock()
 	defer m.s.mu.Unlock()
-	return len(m.queue)
+	return m.queue.len()
 }
 
 // registerLocked enqueues the calling goroutine as a blocked receiver
 // without yet releasing its runnable credit; the caller must arrange any
 // wake-up timer and then call blockLocked before unlocking.
 func (m *simMailbox) registerLocked() *mbWaiter {
-	w := &mbWaiter{ch: make(chan struct{}, 1), tag: m.s.tagLocked("recv:" + m.name)}
+	w := getWaiter()
+	w.tag = m.s.tagLocked(m.recvTag)
 	m.waitq = append(m.waitq, w)
 	return w
 }
@@ -144,16 +212,6 @@ func (m *simMailbox) parkLocked() *mbWaiter {
 	w := m.registerLocked()
 	m.s.blockLocked()
 	return w
-}
-
-// wakeLocked hands the runnable credit back to waiter w and signals it.
-// Must be called with the clock lock held; w must not already be done.
-func (m *simMailbox) wakeLocked(w *mbWaiter) {
-	w.done = true
-	m.s.running++
-	m.s.waiters--
-	delete(m.s.waitTags, w.tag)
-	w.ch <- struct{}{}
 }
 
 func (m *simMailbox) popWaiterLocked() *mbWaiter {
@@ -175,11 +233,4 @@ func (m *simMailbox) removeWaiterLocked(target *mbWaiter) {
 			return
 		}
 	}
-}
-
-func (m *simMailbox) dequeueLocked() any {
-	v := m.queue[0]
-	m.queue[0] = nil
-	m.queue = m.queue[1:]
-	return v
 }

@@ -1,7 +1,6 @@
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,11 +25,12 @@ type Sim struct {
 	mu       sync.Mutex
 	done     sync.Cond // broadcast when the simulation becomes fully idle
 	now      time.Time
-	running  int // tracked goroutines currently runnable
-	waiters  int // tracked goroutines blocked in clock waits
+	nowNanos int64 // now.UnixNano(), cached for heap-key arithmetic
+	running  int   // tracked goroutines currently runnable
+	waiters  int   // tracked goroutines blocked in clock waits
 	timers   timerHeap
 	seq      uint64
-	waitTags map[uint64]string // active wait labels, for deadlock reports
+	waitTags map[uint64]waitTag // active wait labels, for deadlock reports
 	tagSeq   uint64
 
 	// onDeadlock, if set, is invoked (with the lock released) instead of
@@ -40,9 +40,17 @@ type Sim struct {
 	deadlocked bool
 }
 
+// waitTag records where one goroutine is blocked. The human-readable
+// label is only materialized in deadlock reports, so the hot path never
+// pays for string formatting.
+type waitTag struct {
+	kind string
+	at   time.Time
+}
+
 // NewSim returns a simulated clock positioned at Epoch.
 func NewSim() *Sim {
-	s := &Sim{now: Epoch, waitTags: make(map[uint64]string)}
+	s := &Sim{now: Epoch, nowNanos: Epoch.UnixNano(), waitTags: make(map[uint64]waitTag)}
 	s.done.L = &s.mu
 	return s
 }
@@ -80,18 +88,14 @@ func (s *Sim) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	ch := make(chan struct{})
+	w := getWaiter()
 	s.mu.Lock()
-	tag := s.tagLocked("sleep")
-	s.scheduleLocked(d, func() {
-		s.running++
-		s.waiters--
-		delete(s.waitTags, tag)
-		close(ch)
-	})
+	w.tag = s.tagLocked("sleep")
+	s.scheduleLocked(d, timerEvent{kind: evWake, w: w, gen: w.gen})
 	s.blockLocked()
 	s.mu.Unlock()
-	<-ch
+	<-w.ch
+	putWaiter(w)
 }
 
 // After returns a channel that delivers the simulated time after d.
@@ -102,10 +106,7 @@ func (s *Sim) Sleep(d time.Duration) {
 func (s *Sim) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	s.mu.Lock()
-	s.scheduleLocked(d, func() {
-		s.running++ // wake credit claimed by WaitTime
-		ch <- s.now
-	})
+	s.scheduleLocked(d, timerEvent{kind: evChan, ch: ch})
 	s.mu.Unlock()
 	return ch
 }
@@ -125,43 +126,46 @@ func (s *Sim) WaitTime(ch <-chan time.Time) time.Time {
 	return t
 }
 
+// afterFuncCall is the shared state between a pending AfterFunc event
+// and the Timer that can cancel it.
+type afterFuncCall struct {
+	fn        func()
+	cancelled bool // guarded by the clock lock
+	fired     bool // guarded by the clock lock
+}
+
 // AfterFunc schedules f to run as a new tracked goroutine after d of
 // simulated time. The returned Timer can cancel the call.
 func (s *Sim) AfterFunc(d time.Duration, f func()) *Timer {
+	af := &afterFuncCall{fn: f}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	cancelled := false
-	fired := false
-	s.scheduleLocked(d, func() {
-		if cancelled {
-			return
-		}
-		fired = true
-		s.running++
-		go func() {
-			defer s.exit()
-			f()
-		}()
-	})
-	return &Timer{stop: func() bool {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if fired || cancelled {
-			return false
-		}
-		cancelled = true
-		return true
-	}}
+	s.scheduleLocked(d, timerEvent{kind: evFunc, af: af})
+	s.mu.Unlock()
+	return &Timer{sim: s, af: af}
 }
 
-// scheduleLocked queues fire to run, with the clock lock held, once d has
-// elapsed. fire must not block and must not re-lock the clock.
-func (s *Sim) scheduleLocked(d time.Duration, fire func()) {
+// stopAfterFunc implements Timer.Stop for simulated timers.
+func (s *Sim) stopAfterFunc(af *afterFuncCall) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if af.fired || af.cancelled {
+		return false
+	}
+	af.cancelled = true
+	return true
+}
+
+// scheduleLocked queues ev to fire once d has elapsed, stamping its
+// deadline and sequence number. Events at equal deadlines fire in
+// scheduling order, keeping runs reproducible.
+func (s *Sim) scheduleLocked(d time.Duration, ev timerEvent) {
 	if d < 0 {
 		d = 0
 	}
 	s.seq++
-	heap.Push(&s.timers, &timerEvent{when: s.now.Add(d), seq: s.seq, fire: fire})
+	ev.when = s.nowNanos + int64(d)
+	ev.seq = s.seq
+	s.timers.push(ev)
 }
 
 // blockLocked transitions the calling goroutine from runnable to waiting
@@ -179,7 +183,7 @@ func (s *Sim) blockLocked() {
 // which stops the advance.
 func (s *Sim) maybeAdvanceLocked() {
 	for s.running == 0 {
-		if s.timers.Len() == 0 {
+		if s.timers.len() == 0 {
 			// Fully idle: either the simulation has finished (no waiters)
 			// or it has deadlocked. Either way, wake Wait callers.
 			s.done.Broadcast()
@@ -188,12 +192,61 @@ func (s *Sim) maybeAdvanceLocked() {
 			}
 			return
 		}
-		ev := heap.Pop(&s.timers).(*timerEvent)
-		if ev.when.After(s.now) {
-			s.now = ev.when
+		ev := s.timers.pop()
+		if ev.when > s.nowNanos {
+			s.now = s.now.Add(time.Duration(ev.when - s.nowNanos))
+			s.nowNanos = ev.when
 		}
-		ev.fire()
+		s.fireLocked(&ev)
 	}
+}
+
+// fireLocked runs one timer event with the clock lock held. Fire paths
+// must not block and must not re-lock the clock.
+func (s *Sim) fireLocked(ev *timerEvent) {
+	switch ev.kind {
+	case evWake:
+		// A sleeping goroutine's wake-up. The generation check skips
+		// events that outlived their (pooled, since recycled) waiter.
+		w := ev.w
+		if w.gen != ev.gen || w.done {
+			return
+		}
+		s.wakeLocked(w)
+	case evTimeout:
+		// A mailbox receive deadline. Stale if a sender (or Close) won.
+		w := ev.w
+		if w.gen != ev.gen || w.done {
+			return
+		}
+		ev.mb.removeWaiterLocked(w)
+		w.timedOut = true
+		s.wakeLocked(w)
+	case evChan:
+		s.running++ // wake credit claimed by WaitTime
+		ev.ch <- s.now
+	case evFunc:
+		af := ev.af
+		if af.cancelled {
+			return
+		}
+		af.fired = true
+		s.running++
+		go func() {
+			defer s.exit()
+			af.fn()
+		}()
+	}
+}
+
+// wakeLocked hands the runnable credit back to waiter w and signals it.
+// Must be called with the clock lock held; w must not already be done.
+func (s *Sim) wakeLocked(w *mbWaiter) {
+	w.done = true
+	s.running++
+	s.waiters--
+	delete(s.waitTags, w.tag)
+	w.ch <- struct{}{}
 }
 
 func (s *Sim) deadlockLocked() {
@@ -202,8 +255,8 @@ func (s *Sim) deadlockLocked() {
 	}
 	s.deadlocked = true
 	waiting := make([]string, 0, len(s.waitTags))
-	for _, tag := range s.waitTags {
-		waiting = append(waiting, tag)
+	for id, tag := range s.waitTags {
+		waiting = append(waiting, fmt.Sprintf("%s#%d@%s", tag.kind, id, tag.at.Format("15:04:05.000")))
 	}
 	sort.Strings(waiting)
 	if h := s.onDeadlock; h != nil {
@@ -235,7 +288,7 @@ func (s *Sim) Wait() time.Time {
 	// A deadlocked simulation never becomes idle, but once its handler
 	// goroutine (counted in running) finishes there is nothing to wait
 	// for. Waiters and timers are otherwise drained by the advance loop.
-	for s.running > 0 || ((s.waiters > 0 || s.timers.Len() > 0) && !s.deadlocked) {
+	for s.running > 0 || ((s.waiters > 0 || s.timers.len() > 0) && !s.deadlocked) {
 		s.done.Wait()
 	}
 	return s.now
@@ -250,47 +303,95 @@ func (s *Sim) Deadlocked() bool {
 
 func (s *Sim) tagLocked(kind string) uint64 {
 	s.tagSeq++
-	s.waitTags[s.tagSeq] = fmt.Sprintf("%s#%d@%s", kind, s.tagSeq, s.now.Format("15:04:05.000"))
+	s.waitTags[s.tagSeq] = waitTag{kind: kind, at: s.now}
 	return s.tagSeq
 }
 
-// timerEvent is one pending clock event. Events at equal deadlines fire
-// in scheduling order, keeping runs reproducible.
+// timerKind selects a timerEvent's fire path. A closed set of variants
+// instead of a fire closure keeps event scheduling allocation-free on
+// the Sleep and mailbox-timeout hot paths.
+type timerKind uint8
+
+const (
+	evWake    timerKind = iota // wake a parked waiter (Sleep)
+	evTimeout                  // expire a mailbox receive deadline
+	evChan                     // deliver on an After channel
+	evFunc                     // run an AfterFunc callback
+)
+
+// timerEvent is one pending clock event, keyed for firing order by
+// (when, seq): earliest deadline first, scheduling order breaking ties.
 type timerEvent struct {
-	when  time.Time
-	seq   uint64
-	index int
-	fire  func()
+	when int64 // deadline, UnixNano
+	seq  uint64
+	kind timerKind
+	gen  uint64         // waiter generation for evWake/evTimeout
+	w    *mbWaiter      // evWake, evTimeout
+	mb   *simMailbox    // evTimeout
+	ch   chan time.Time // evChan
+	af   *afterFuncCall // evFunc
 }
 
-type timerHeap []*timerEvent
+// timerHeap is a binary min-heap of timerEvent values ordered by
+// (when, seq). Storing values in a plain slice (instead of pointers
+// through container/heap's interface methods) removes one allocation
+// and one interface conversion per scheduled event.
+type timerHeap struct {
+	evs []timerEvent
+}
 
-func (h timerHeap) Len() int { return len(h) }
+func (h *timerHeap) len() int { return len(h.evs) }
 
-func (h timerHeap) Less(i, j int) bool {
-	if !h[i].when.Equal(h[j].when) {
-		return h[i].when.Before(h[j].when)
+// before reports whether event a fires before event b.
+func eventBefore(a, b *timerEvent) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h timerHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (h *timerHeap) push(ev timerEvent) {
+	h.evs = append(h.evs, ev)
+	i := len(h.evs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(&h.evs[i], &h.evs[parent]) {
+			break
+		}
+		h.evs[i], h.evs[parent] = h.evs[parent], h.evs[i]
+		i = parent
+	}
 }
 
-func (h *timerHeap) Push(x any) {
-	ev := x.(*timerEvent)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func (h *timerHeap) pop() timerEvent {
+	evs := h.evs
+	root := evs[0]
+	n := len(evs) - 1
+	evs[0] = evs[n]
+	evs[n] = timerEvent{} // release pointers for the GC
+	h.evs = evs[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return root
 }
 
-func (h *timerHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (h *timerHeap) siftDown(i int) {
+	evs := h.evs
+	n := len(evs)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && eventBefore(&evs[right], &evs[left]) {
+			least = right
+		}
+		if !eventBefore(&evs[least], &evs[i]) {
+			return
+		}
+		evs[i], evs[least] = evs[least], evs[i]
+		i = least
+	}
 }
