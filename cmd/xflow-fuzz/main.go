@@ -16,12 +16,19 @@
 //
 // The generator draws differently under -short, so replay with the
 // same flag the violation was found with.
+//
+// Scenarios are independent, so the sweep runs -parallel of them
+// concurrently (default GOMAXPROCS); output and the reported violation
+// are byte-identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"crossflow/internal/core"
@@ -35,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "replay exactly this seed and exit (0 = fuzz)")
 		short     = flag.Bool("short", false, "generate smaller scenarios (CI profile)")
 		policy    = flag.String("policy", "", "restrict to one policy name (default: all)")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "scenarios checked concurrently (1 = serial)")
 		verbose   = flag.Bool("v", false, "print each scenario as it runs")
 	)
 	flag.Parse()
@@ -69,20 +77,78 @@ func main() {
 	}
 
 	began := time.Now()
-	for i := 0; i < *scenarios; i++ {
-		s := *start + int64(i)
-		sc := simtest.Generate(s, opts.Limits)
-		if *verbose {
-			fmt.Printf("seed %d: %d workers, %d jobs, faults=%v\n",
-				s, len(sc.Workers), len(sc.Jobs), !sc.Faults.Empty())
-		}
-		if v := simtest.CheckScenario(sc, opts); v != nil {
-			report(sc, v, *short)
-			os.Exit(1)
-		}
+	if sc, v := sweep(*scenarios, *start, opts, *parallel, *verbose); v != nil {
+		report(sc, v, *short)
+		os.Exit(1)
 	}
 	fmt.Printf("xflow-fuzz: %d scenarios (seeds %d..%d), all invariants hold (%.1fs)\n",
 		*scenarios, *start, *start+int64(*scenarios)-1, time.Since(began).Seconds())
+}
+
+// sweep checks seeds start..start+scenarios-1 on up to parallel
+// goroutines. Each scenario is independent, so only the reporting needs
+// care: results are buffered per index and emitted in seed order, and
+// the returned violation is the one the serial loop would have hit
+// first (the lowest-seed violation, with no output past it) — the
+// output is byte-identical to -parallel 1 regardless of worker
+// interleaving.
+func sweep(scenarios int, start int64, opts simtest.Options, parallel int, verbose bool) (*simtest.Scenario, *simtest.Violation) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > scenarios {
+		parallel = scenarios
+	}
+	type result struct {
+		sc   *simtest.Scenario
+		line string
+		v    *simtest.Violation
+	}
+	results := make([]result, scenarios)
+	var next, stop atomic.Int64 // stop: lowest violating index; scenarios = none
+	stop.Store(int64(scenarios))
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				// Indices past the lowest known violation can never be
+				// reported; skip them. stop only decreases, so nothing
+				// at or below the final value is ever skipped.
+				if i >= int64(scenarios) || i > stop.Load() {
+					return
+				}
+				s := start + i
+				sc := simtest.Generate(s, opts.Limits)
+				r := result{sc: sc}
+				if verbose {
+					r.line = fmt.Sprintf("seed %d: %d workers, %d jobs, faults=%v\n",
+						s, len(sc.Workers), len(sc.Jobs), !sc.Faults.Empty())
+				}
+				if r.v = simtest.CheckScenario(sc, opts); r.v != nil {
+					for {
+						cur := stop.Load()
+						if i >= cur || stop.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < scenarios; i++ {
+		if verbose {
+			fmt.Print(results[i].line)
+		}
+		if results[i].v != nil {
+			return results[i].sc, results[i].v
+		}
+	}
+	return nil, nil
 }
 
 func report(sc *simtest.Scenario, v *simtest.Violation, short bool) {

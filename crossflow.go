@@ -34,9 +34,11 @@
 // same engine deploys as separate OS processes over TCP with the
 // cmd/xflow-broker, cmd/xflow-master and cmd/xflow-worker binaries.
 //
-// Available schedulers: Bidding (the paper's contribution), Baseline
-// (Crossflow's original opinionated pull), SparkLike (the centralized
-// comparator), Matchmaking, and Random.
+// Available schedulers: Bidding (the paper's contribution), BiddingTopK
+// (the scalable variant: contests target a small index-planned candidate
+// set instead of the whole fleet), Baseline (Crossflow's original
+// opinionated pull), SparkLike (the centralized comparator), Matchmaking,
+// and Random.
 package crossflow
 
 import (
@@ -116,6 +118,15 @@ func SparkLike() Scheduler { s, _ := core.PolicyByName("spark-like"); return s }
 // the bidding overhead for highly local jobs (the paper's future-work
 // item).
 func BiddingFast() Scheduler { s, _ := core.PolicyByName("bidding-fast"); return s }
+
+// BiddingTopK returns the scalable Bidding variant for large fleets:
+// the master maintains an eventually-consistent data-location index and
+// a per-worker load sketch, and each contest targets only the few
+// workers believed to hold the job's data plus a power-of-two-choices
+// sample of lightly-loaded nodes — O(K) contest messages per job
+// instead of O(fleet), with a broadcast fallback so no job starves on a
+// stale index.
+func BiddingTopK() Scheduler { s, _ := core.PolicyByName("bidding-topk"); return s }
 
 // Matchmaking returns the locality-aware pull scheduler of He et al.:
 // idle workers request jobs matching their cached data and accept any

@@ -12,6 +12,8 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"crossflow/internal/broker"
 	"crossflow/internal/cluster"
 	"crossflow/internal/core"
+	"crossflow/internal/engine"
 	"crossflow/internal/experiments"
 	"crossflow/internal/storage"
 	"crossflow/internal/vclock"
@@ -45,6 +48,14 @@ func Suite() []Spec {
 		{"broker_publish_fanout", "kernel", benchPublishFanout},
 		{"storage_cache_put_access", "kernel", benchCachePutAccess},
 		{"engine_throughput", "engine", benchEngineThroughput},
+		{"fleet_w5_bidding", "scale", benchFleetScaling(5, crossflow.Bidding)},
+		{"fleet_w5_bidding_topk", "scale", benchFleetScaling(5, crossflow.BiddingTopK)},
+		{"fleet_w50_bidding", "scale", benchFleetScaling(50, crossflow.Bidding)},
+		{"fleet_w50_bidding_topk", "scale", benchFleetScaling(50, crossflow.BiddingTopK)},
+		{"fleet_w500_bidding", "scale", benchFleetScaling(500, crossflow.Bidding)},
+		{"fleet_w500_bidding_topk", "scale", benchFleetScaling(500, crossflow.BiddingTopK)},
+		{"fleet_w2000_bidding", "scale", benchFleetScaling(2000, crossflow.Bidding)},
+		{"fleet_w2000_bidding_topk", "scale", benchFleetScaling(2000, crossflow.BiddingTopK)},
 		{"figure2_group1_fastslow_large", "experiment", benchFigure2Group1},
 		{"figure3_rep80small_fastslow", "experiment", benchFigure3Cell},
 	}
@@ -196,6 +207,92 @@ func benchEngineThroughput(b *testing.B) {
 	}
 	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
 		b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
+	}
+}
+
+// --- fleet scaling ----------------------------------------------------------
+
+// wireSize returns the steady-state gob encoding size of one message,
+// the broker-independent estimate of its on-the-wire cost (the TCP
+// transport frames exactly these encodings). Encoded twice so the
+// one-time type descriptor is excluded.
+func wireSize(msg any) float64 {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(msg); err != nil {
+		panic(err)
+	}
+	first := buf.Len()
+	if err := enc.Encode(msg); err != nil {
+		panic(err)
+	}
+	return float64(buf.Len() - first)
+}
+
+// benchFleetScaling measures the bidding contest protocols as the fleet
+// grows: the same 160-job, 40-key workload dispatched to W workers
+// under broadcast contests (bidding) or index-targeted contests
+// (bidding-topk). Beyond wall time it reports the scheduling wire cost
+// — contest messages and estimated KB per job, request plus returned
+// bids — and cache misses per job, the locality price of not asking
+// everyone.
+func benchFleetScaling(fleet int, sched func() crossflow.Scheduler) func(b *testing.B) {
+	return func(b *testing.B) {
+		const (
+			jobs = 160
+			keys = 40
+		)
+		reqSize := wireSize(engine.MsgBidRequest{Job: &engine.Job{
+			ID: "job-0123", Stream: "jobs", DataKey: "repo-0123", DataSizeMB: 100,
+		}})
+		bidSize := wireSize(engine.MsgBid{
+			JobID: "job-0123", Worker: "w0123",
+			Estimate: 5 * time.Second, JobCost: 5 * time.Second,
+		})
+		var msgsPerJob, kbPerJob, missesPerJob float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workers := make([]*crossflow.Worker, fleet)
+			for j := range workers {
+				workers[j] = crossflow.NewWorker(crossflow.WorkerSpec{
+					Name: fmt.Sprintf("w%04d", j),
+					Net:  crossflow.Speed{BaseMBps: 25},
+					RW:   crossflow.Speed{BaseMBps: 100},
+					Seed: int64(j + 1),
+				})
+			}
+			wf := crossflow.NewWorkflow("bench")
+			wf.MustAddTask(crossflow.TaskSpec{Name: "t", Input: "jobs"})
+			arrivals := make([]crossflow.Arrival, jobs)
+			for j := range arrivals {
+				// 2s spacing keeps arrivals past the bid window, so the
+				// location index warms before repeat keys recur.
+				arrivals[j] = crossflow.Arrival{
+					At: time.Duration(j) * 2 * time.Second,
+					Job: &crossflow.Job{
+						Stream: "jobs", DataKey: fmt.Sprintf("r%d", j%keys), DataSizeMB: 100,
+					},
+				}
+			}
+			rep, err := crossflow.Run(crossflow.Config{
+				Workers: workers, Scheduler: sched(), Workflow: wf, Arrivals: arrivals,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.JobsCompleted != jobs {
+				b.Fatalf("completed %d of %d", rep.JobsCompleted, jobs)
+			}
+			msgsPerJob = float64(rep.ContestMsgs+rep.Bids) / jobs
+			kbPerJob = (float64(rep.ContestMsgs)*reqSize + float64(rep.Bids)*bidSize) / jobs / 1024
+			missesPerJob = float64(rep.CacheMisses) / jobs
+		}
+		b.ReportMetric(msgsPerJob, "contest_msgs_per_job")
+		b.ReportMetric(kbPerJob, "contest_kb_per_job")
+		b.ReportMetric(missesPerJob, "cache_misses_per_job")
+		if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+			b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
+		}
 	}
 }
 

@@ -275,6 +275,51 @@ func (b *Broker) publish(from *Endpoint, topic string, payload any) int {
 	return n
 }
 
+// sendMulti delivers one payload to several named endpoints, sharing a
+// single envelope across all deliveries the way a topic fanout does.
+// It returns the number of endpoints reached. Unknown or disconnected
+// targets are skipped (counted in Stats.Dropped); the drop model is
+// consulted once per target, exactly as for direct sends.
+func (b *Broker) sendMulti(from *Endpoint, targets []string, payload any) int {
+	scratch := fanoutPool.Get().(*[]delivery)
+	b.mu.Lock()
+	if from.down {
+		b.stats.Dropped += int64(len(targets))
+		b.mu.Unlock()
+		fanoutPool.Put(scratch)
+		return 0
+	}
+	env := &Envelope{From: from.name, Payload: payload, SentAt: b.clk.Now()}
+	// Deliveries are scheduled in the caller's target order; callers that
+	// need replay determinism must pass a deterministically-ordered list,
+	// the same contract the topic map keeps by sorting its subscribers.
+	outs := (*scratch)[:0]
+	for _, to := range targets {
+		dst, ok := b.endpoints[to]
+		if !ok || dst.down {
+			b.stats.Dropped++
+			continue
+		}
+		if b.drop != nil && b.drop(*env, to) {
+			b.stats.Dropped++
+			continue
+		}
+		outs = append(outs, delivery{ep: dst, d: b.delay(from, dst) + from.skewLocked(to)})
+	}
+	b.stats.Direct += int64(len(outs))
+	b.mu.Unlock()
+	for _, t := range outs {
+		b.deliver(t.ep, env, t.d)
+	}
+	n := len(outs)
+	for i := range outs {
+		outs[i] = delivery{}
+	}
+	*scratch = outs[:0]
+	fanoutPool.Put(scratch)
+	return n
+}
+
 // deliver places env in dst's inbox after delay d of clock time.
 func (b *Broker) deliver(dst *Endpoint, env *Envelope, d time.Duration) {
 	if d <= 0 {
@@ -344,6 +389,14 @@ func (ep *Endpoint) Inbox() vclock.Mailbox { return ep.inbox }
 // false if the destination is unknown or either side is disconnected.
 func (ep *Endpoint) Send(to string, payload any) bool {
 	return ep.broker.send(ep, to, payload)
+}
+
+// SendMulti delivers payload directly to each named endpoint, sharing
+// one envelope across the deliveries, and returns how many targets were
+// reached. It is the targeted counterpart of Publish: a multicast to a
+// chosen candidate set instead of a whole topic.
+func (ep *Endpoint) SendMulti(targets []string, payload any) int {
+	return ep.broker.sendMulti(ep, targets, payload)
 }
 
 // Publish fans payload out to all subscribers of topic and returns the

@@ -337,3 +337,75 @@ func TestBrokerOnRealClock(t *testing.T) {
 		t.Fatal("delivery never arrived on real clock")
 	}
 }
+
+func TestSendMultiReachesNamedTargetsOnly(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	src := b.Register("src", 0)
+	w1 := b.Register("w1", 10*time.Millisecond)
+	w2 := b.Register("w2", 20*time.Millisecond)
+	b.Register("w3", 0) // registered but not targeted
+
+	var n int
+	got := make(map[string]Envelope)
+	sim.Go(func() {
+		n = src.SendMulti([]string{"w1", "w2", "ghost"}, "req")
+	})
+	for _, ep := range []*Endpoint{w1, w2} {
+		ep := ep
+		sim.Go(func() {
+			v, ok := ep.Inbox().Recv()
+			if !ok {
+				t.Error("inbox closed")
+				return
+			}
+			got[ep.Name()] = *v.(*Envelope)
+		})
+	}
+	sim.Wait()
+	if n != 2 {
+		t.Errorf("SendMulti = %d, want 2 (ghost skipped)", n)
+	}
+	for _, w := range []string{"w1", "w2"} {
+		env, ok := got[w]
+		if !ok {
+			t.Fatalf("%s got no delivery", w)
+		}
+		if env.From != "src" || env.Payload.(string) != "req" {
+			t.Errorf("%s envelope = %+v", w, env)
+		}
+	}
+	s := b.Stats()
+	if s.Direct != 2 || s.Dropped != 1 {
+		t.Errorf("stats = %+v, want Direct 2, Dropped 1 for the ghost", s)
+	}
+}
+
+func TestSendMultiRespectsDownAndDrop(t *testing.T) {
+	sim := vclock.NewSim()
+	b := New(sim)
+	src := b.Register("src", 0)
+	b.Register("w1", 0)
+	w2 := b.Register("w2", 0)
+	w2.Disconnect()
+	b.SetDropFunc(func(env Envelope, to string) bool { return to == "w1" })
+
+	var n int
+	sim.Go(func() { n = src.SendMulti([]string{"w1", "w2"}, 1) })
+	sim.Wait()
+	if n != 0 {
+		t.Errorf("SendMulti = %d, want 0 (one down, one dropped)", n)
+	}
+	if s := b.Stats(); s.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", s.Dropped)
+	}
+
+	// A disconnected sender reaches nobody.
+	src.Disconnect()
+	b.SetDropFunc(nil)
+	sim.Go(func() { n = src.SendMulti([]string{"w1"}, 2) })
+	sim.Wait()
+	if n != 0 {
+		t.Errorf("down sender SendMulti = %d, want 0", n)
+	}
+}

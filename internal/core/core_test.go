@@ -19,9 +19,15 @@ type fakeCtx struct {
 	offers    []fakeOffer
 	noWork    []string
 	published []string
+	targeted  []fakeTargeted
 	windows   []fakeWindow
 	ticks     []fakeWindow
 	fallbacks int
+}
+
+type fakeTargeted struct {
+	job     string
+	workers []string
 }
 
 type fakeAssign struct {
@@ -69,6 +75,21 @@ func (f *fakeCtx) SendNoWork(worker string, _ time.Duration) {
 func (f *fakeCtx) PublishBidRequest(jobID string) int {
 	f.published = append(f.published, jobID)
 	return len(f.workers)
+}
+
+func (f *fakeCtx) PublishBidRequestTo(jobID string, workers []string) int {
+	live := make(map[string]bool, len(f.workers))
+	for _, w := range f.workers {
+		live[w] = true
+	}
+	var reached []string
+	for _, w := range workers {
+		if live[w] {
+			reached = append(reached, w)
+		}
+	}
+	f.targeted = append(f.targeted, fakeTargeted{jobID, reached})
+	return len(reached)
 }
 
 func (f *fakeCtx) ScheduleBidWindow(jobID string, d time.Duration) {

@@ -158,7 +158,7 @@ func TestStaticCostsEdges(t *testing.T) {
 }
 
 func TestExtendedPolicyRegistry(t *testing.T) {
-	for _, name := range []string{"bidding", "baseline", "spark-like", "bidding-fast", "matchmaking", "delay", "random"} {
+	for _, name := range []string{"bidding", "baseline", "spark-like", "bidding-fast", "bidding-topk", "matchmaking", "delay", "random"} {
 		p, ok := PolicyByName(name)
 		if !ok {
 			t.Fatalf("policy %q missing", name)
@@ -167,7 +167,7 @@ func TestExtendedPolicyRegistry(t *testing.T) {
 			t.Errorf("policy %q constructs nils", name)
 		}
 	}
-	if len(Policies()) != 7 {
-		t.Errorf("Policies() = %d entries, want 7", len(Policies()))
+	if len(Policies()) != 8 {
+		t.Errorf("Policies() = %d entries, want 8", len(Policies()))
 	}
 }

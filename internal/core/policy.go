@@ -38,6 +38,11 @@ func Policies() []Policy {
 			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewBiddingAgent() },
 		},
 		{
+			Name:         "bidding-topk",
+			NewAllocator: func() engine.Allocator { return NewTopK() },
+			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewTopKAgent() },
+		},
+		{
 			Name:         "matchmaking",
 			NewAllocator: func() engine.Allocator { return NewMatchmaking() },
 			NewAgent:     func(*engine.WorkerState) engine.Agent { return NewMatchmakingAgent() },

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"crossflow/internal/engine"
+	"crossflow/internal/locindex"
+)
+
+// Candidate-set sizing for the scalable bidding policy. A contest
+// targets at most DefaultTopKHolders workers the index believes hold
+// the job's data, plus a power-of-two-choices sample of
+// DefaultTopKSample lightly-loaded workers so cold keys still get a
+// small, cheap contest and hot holders get load competition.
+const (
+	DefaultTopKHolders = 3
+	DefaultTopKSample  = 2
+)
+
+// TopKAllocator is the scalable variant of the Bidding Scheduler: the
+// same contest protocol, but each bid request goes to a small targeted
+// candidate set instead of the whole fleet, keeping per-job contest
+// cost O(K) instead of O(workers).
+//
+// The candidate set is planned from a data-location index (see
+// internal/locindex) the allocator maintains from traffic it sees
+// anyway — bids carry locality and current workload, assignments and
+// completions mark new holders, cache-eviction notices and deaths
+// retire them. The index is eventually consistent; staleness is
+// handled, never trusted: a targeted contest that produces no bids
+// reopens as a classic broadcast contest (counted as a fallback), so a
+// job can always reach the whole fleet and never starves on stale
+// hints.
+type TopKAllocator struct {
+	engine.NopAllocator
+	// Window overrides the bidding threshold; zero means
+	// DefaultBidWindow.
+	Window time.Duration
+	// Holders caps how many indexed holders a contest targets; zero
+	// means DefaultTopKHolders.
+	Holders int
+	// Sample is how many lightly-loaded extra candidates each contest
+	// draws by power-of-two-choices; zero means DefaultTopKSample.
+	Sample int
+
+	index    *locindex.Index
+	contests map[string]*topkContest
+	// assignedCost remembers the believed cost charged to a worker at
+	// assignment so JobFinished can release exactly that much from the
+	// load sketch.
+	assignedCost map[string]time.Duration
+}
+
+type topkContest struct {
+	expected int
+	// targets is the candidate set of a targeted contest; nil for a
+	// broadcast (fallback) contest, which accepts bids from anyone.
+	targets map[string]bool
+	bids    []engine.MsgBid
+	closed  bool
+}
+
+// NewTopK returns a scalable bidding allocator with the default
+// candidate sizing and the paper's one-second window.
+func NewTopK() *TopKAllocator { return &TopKAllocator{} }
+
+// Name implements engine.Allocator.
+func (b *TopKAllocator) Name() string { return "bidding-topk" }
+
+func (b *TopKAllocator) window() time.Duration {
+	if b.Window > 0 {
+		return b.Window
+	}
+	return DefaultBidWindow
+}
+
+func (b *TopKAllocator) holders() int {
+	if b.Holders > 0 {
+		return b.Holders
+	}
+	return DefaultTopKHolders
+}
+
+func (b *TopKAllocator) sample() int {
+	if b.Sample > 0 {
+		return b.Sample
+	}
+	return DefaultTopKSample
+}
+
+func (b *TopKAllocator) init() {
+	if b.index == nil {
+		b.index = locindex.New(0)
+		b.contests = make(map[string]*topkContest)
+		b.assignedCost = make(map[string]time.Duration)
+	}
+}
+
+// Index exposes the allocator's location index (tests, diagnostics).
+func (b *TopKAllocator) Index() *locindex.Index { b.init(); return b.index }
+
+// OpenContests reports how many contests are currently open.
+func (b *TopKAllocator) OpenContests() int { return len(b.contests) }
+
+// JobReady implements engine.Allocator: plan a candidate set and open a
+// targeted contest for the job.
+func (b *TopKAllocator) JobReady(ctx engine.AllocCtx, job *engine.Job) {
+	b.init()
+	cands := b.candidates(ctx, job)
+	if len(cands) > 0 {
+		if reached := ctx.PublishBidRequestTo(job.ID, cands); reached > 0 {
+			targets := make(map[string]bool, len(cands))
+			for _, w := range cands {
+				targets[w] = true
+			}
+			b.contests[job.ID] = &topkContest{expected: reached, targets: targets}
+			ctx.ScheduleBidWindow(job.ID, b.window())
+			return
+		}
+	}
+	// Empty or fully-dead candidate set: open a broadcast contest so the
+	// job cannot starve on a stale index (same protocol as plain
+	// bidding, including the retry when no workers exist yet).
+	b.openBroadcast(ctx, job.ID)
+}
+
+// candidates plans a contest's target set: the lightest-loaded indexed
+// holders of the job's data, topped up with a power-of-two-choices
+// sample of the fleet. The result is deterministic given the index
+// state and the master's seeded random source.
+func (b *TopKAllocator) candidates(ctx engine.AllocCtx, job *engine.Job) []string {
+	cands := b.index.Holders(job.DataKey, b.holders())
+	exclude := make(map[string]bool, len(cands))
+	for _, w := range cands {
+		exclude[w] = true
+	}
+	// Top up with lightly-loaded workers: load competition for hot
+	// holders, and a non-empty candidate set for cold keys.
+	want := b.sample()
+	if len(cands) == 0 {
+		// No locality hint at all — draw a slightly wider net so the
+		// contest still compares a few queues.
+		want = b.sample() + 1
+	}
+	cands = append(cands, b.index.SampleLight(ctx.Rand(), ctx.Workers(), want, exclude)...)
+	return cands
+}
+
+// openBroadcast opens (or reopens) a whole-fleet contest for the job.
+func (b *TopKAllocator) openBroadcast(ctx engine.AllocCtx, jobID string) {
+	reached := ctx.PublishBidRequest(jobID)
+	b.contests[jobID] = &topkContest{expected: reached}
+	ctx.ScheduleBidWindow(jobID, b.window())
+}
+
+// BidReceived implements engine.Allocator. Every bid — even a late one
+// for a closed contest — refreshes the index: Local reports whether the
+// bidder holds the data now, and Estimate-JobCost is the bidder's
+// authoritative queued workload.
+func (b *TopKAllocator) BidReceived(ctx engine.AllocCtx, bid engine.MsgBid) {
+	b.init()
+	if job := ctx.Job(bid.JobID); job != nil && job.DataKey != "" {
+		if bid.Local {
+			b.index.AddHolder(job.DataKey, bid.Worker)
+		} else {
+			// The index believed wrong (e.g. a cache shrink evicted without
+			// a notice landing): correct it on the spot.
+			b.index.RemoveHolder(job.DataKey, bid.Worker)
+		}
+	}
+	b.index.SetLoad(bid.Worker, bid.Estimate-bid.JobCost)
+
+	c := b.contests[bid.JobID]
+	if c == nil || c.closed {
+		return
+	}
+	// A targeted contest only accepts bids from its candidate set: a
+	// straggler bid from an earlier (pre-redispatch) round must not win
+	// a contest that never asked that worker.
+	if c.targets != nil && !c.targets[bid.Worker] {
+		return
+	}
+	c.bids = append(c.bids, bid)
+	if len(c.bids) >= c.expected {
+		b.close(ctx, bid.JobID, c)
+	}
+}
+
+// BidWindowExpired implements engine.Allocator.
+func (b *TopKAllocator) BidWindowExpired(ctx engine.AllocCtx, jobID string) {
+	c := b.contests[jobID]
+	if c == nil || c.closed {
+		return
+	}
+	b.close(ctx, jobID, c)
+}
+
+// close concludes a contest. With bids, the lowest estimate wins
+// (ties by worker name, same as plain bidding) and the index records
+// the winner as a committed holder. A targeted contest that got no
+// bids reopens as a broadcast fallback; a broadcast contest that got no
+// bids assigns arbitrarily (or retries when the fleet is empty).
+func (b *TopKAllocator) close(ctx engine.AllocCtx, jobID string, c *topkContest) {
+	c.closed = true
+	delete(b.contests, jobID)
+	if len(c.bids) == 0 {
+		if c.targets != nil {
+			// All candidates timed out or died: accounted fallback to the
+			// whole fleet.
+			if m, ok := ctx.(interface{ CountFallback() }); ok {
+				m.CountFallback()
+			}
+			b.openBroadcast(ctx, jobID)
+			return
+		}
+		workers := ctx.Workers()
+		if len(workers) == 0 {
+			ctx.ScheduleBidWindow(jobID, b.window())
+			b.contests[jobID] = &topkContest{expected: 0}
+			return
+		}
+		if m, ok := ctx.(interface{ CountFallback() }); ok {
+			m.CountFallback()
+		}
+		b.assign(ctx, jobID, workers[ctx.Rand().Intn(len(workers))], 0)
+		return
+	}
+	sort.SliceStable(c.bids, func(i, j int) bool {
+		if c.bids[i].Estimate != c.bids[j].Estimate {
+			return c.bids[i].Estimate < c.bids[j].Estimate
+		}
+		return c.bids[i].Worker < c.bids[j].Worker
+	})
+	win := c.bids[0]
+	b.assign(ctx, jobID, win.Worker, win.JobCost)
+}
+
+// assign allocates and updates the index: the winner commits to fetch
+// the job's data (it is a holder for planning purposes from now on) and
+// its believed load grows by the job's cost until completion.
+func (b *TopKAllocator) assign(ctx engine.AllocCtx, jobID, worker string, cost time.Duration) {
+	if job := ctx.Job(jobID); job != nil && job.DataKey != "" {
+		b.index.AddHolder(job.DataKey, worker)
+	}
+	b.index.AddLoad(worker, cost)
+	b.assignedCost[jobID] = cost
+	ctx.Assign(jobID, worker, cost)
+}
+
+// JobFinished implements engine.Allocator: release the job's believed
+// cost from the worker's load sketch and confirm it as a holder.
+func (b *TopKAllocator) JobFinished(ctx engine.AllocCtx, jobID, worker string) {
+	b.init()
+	b.index.AddLoad(worker, -b.assignedCost[jobID])
+	delete(b.assignedCost, jobID)
+	if job := ctx.Job(jobID); job != nil && job.DataKey != "" {
+		b.index.AddHolder(job.DataKey, worker)
+	}
+}
+
+// CacheEvicted implements engine.Allocator: the worker no longer holds
+// the evicted keys.
+func (b *TopKAllocator) CacheEvicted(ctx engine.AllocCtx, worker string, keys []string) {
+	b.init()
+	for _, k := range keys {
+		b.index.RemoveHolder(k, worker)
+	}
+}
+
+// WorkerLost implements engine.Allocator: scrub the dead worker from
+// the index and from every open contest, exactly as plain bidding does
+// — its bids must not win, and contests must not wait for it. For a
+// targeted contest the expectation drops only if the dead worker was
+// actually a candidate.
+func (b *TopKAllocator) WorkerLost(ctx engine.AllocCtx, worker string, inflight []*engine.Job) {
+	b.init()
+	b.index.RemoveWorker(worker)
+	open := make([]string, 0, len(b.contests))
+	for jobID := range b.contests {
+		open = append(open, jobID)
+	}
+	sort.Strings(open)
+	for _, jobID := range open {
+		c := b.contests[jobID]
+		kept := c.bids[:0]
+		for _, bid := range c.bids {
+			if bid.Worker != worker {
+				kept = append(kept, bid)
+			}
+		}
+		c.bids = kept
+		if c.targets == nil || c.targets[worker] {
+			if c.expected > 0 {
+				c.expected--
+			}
+		}
+		if c.expected > 0 && len(c.bids) >= c.expected {
+			b.close(ctx, jobID, c)
+		}
+	}
+}
+
+// TopKAgent is the worker side of the scalable bidding policy: the
+// plain bidding agent plus cache-eviction notices, which keep the
+// master's location index from believing in holders long gone.
+type TopKAgent struct{ BiddingAgent }
+
+// NewTopKAgent returns the worker-side scalable-bidding policy.
+func NewTopKAgent() *TopKAgent { return &TopKAgent{} }
+
+// Name implements engine.Agent.
+func (*TopKAgent) Name() string { return "bidding-topk" }
+
+// Start implements engine.Agent: opt in to eviction notices so the
+// master's index learns about displaced keys without polling.
+func (*TopKAgent) Start(w *engine.Worker) { w.EnableEvictionNotices() }

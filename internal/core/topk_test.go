@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"crossflow/internal/engine"
+)
+
+func TestTopKColdJobOpensSmallTargetedContest(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7")
+	b := NewTopK()
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	if len(ctx.published) != 0 {
+		t.Fatalf("cold job broadcast to the fleet: %v", ctx.published)
+	}
+	if len(ctx.targeted) != 1 {
+		t.Fatalf("targeted = %v, want one targeted contest", ctx.targeted)
+	}
+	got := ctx.targeted[0]
+	if got.job != "j1" {
+		t.Errorf("targeted job = %q", got.job)
+	}
+	if n := len(got.workers); n == 0 || n > DefaultTopKSample+1 {
+		t.Errorf("cold contest targeted %d workers (%v), want 1..%d sampled",
+			n, got.workers, DefaultTopKSample+1)
+	}
+	if len(ctx.windows) != 1 {
+		t.Errorf("windows = %v", ctx.windows)
+	}
+}
+
+func TestTopKTargetsIndexedHolders(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7")
+	b := NewTopK()
+	b.Index().AddHolder("r", "w3")
+	b.Index().AddHolder("r", "w5")
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	got := ctx.targeted[0].workers
+	has := map[string]bool{}
+	for _, w := range got {
+		has[w] = true
+	}
+	if !has["w3"] || !has["w5"] {
+		t.Errorf("contest %v misses indexed holders w3, w5", got)
+	}
+	if len(got) > DefaultTopKHolders+DefaultTopKSample {
+		t.Errorf("contest targets %d workers, want <= %d", len(got),
+			DefaultTopKHolders+DefaultTopKSample)
+	}
+}
+
+func TestTopKHolderCapAndLoadOrdering(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2", "w3", "w4", "w5")
+	b := NewTopK()
+	for _, w := range []string{"w0", "w1", "w2", "w3", "w4"} {
+		b.Index().AddHolder("r", w)
+	}
+	b.Index().SetLoad("w0", 50*time.Second)
+	b.Index().SetLoad("w1", 40*time.Second)
+	// w2..w4 at load zero: the three lightest holders win the K slots.
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	got := ctx.targeted[0].workers
+	has := map[string]bool{}
+	for _, w := range got {
+		has[w] = true
+	}
+	for _, w := range []string{"w2", "w3", "w4"} {
+		if !has[w] {
+			t.Errorf("lightest holders missing from %v", got)
+		}
+	}
+	if has["w0"] {
+		t.Errorf("heaviest holder w0 targeted over lighter ones: %v", got)
+	}
+}
+
+func TestTopKClosesOnAllBidsAndUpdatesIndex(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2", "w3", "w4")
+	b := NewTopK()
+	b.Index().AddHolder("r", "w0")
+	b.Index().AddHolder("r", "w1")
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	targets := ctx.targeted[0].workers
+	for i, w := range targets {
+		local := w == "w0" || w == "w1"
+		est := time.Duration(10+i) * time.Second
+		b.BidReceived(ctx, engine.MsgBid{JobID: "j1", Worker: w, Estimate: est,
+			JobCost: est / 2, Local: local})
+	}
+	if len(ctx.assigns) != 1 {
+		t.Fatalf("assigns = %v, want 1 after all bids", ctx.assigns)
+	}
+	win := ctx.assigns[0]
+	if win.worker != targets[0] {
+		t.Errorf("winner = %s, want lowest bidder %s", win.worker, targets[0])
+	}
+	if win.est != 5*time.Second {
+		t.Errorf("est = %v, want winner's JobCost", win.est)
+	}
+	// The winner is now indexed as a committed holder with its cost in
+	// the load sketch, released again when the job finishes.
+	if got := b.Index().Load(win.worker); got <= 0 {
+		t.Errorf("winner load = %v, want > 0 after assignment", got)
+	}
+	b.JobFinished(ctx, "j1", win.worker)
+	found := false
+	for _, h := range b.Index().Holders("r", 0) {
+		if h == win.worker {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("winner not indexed as holder after completion")
+	}
+	if b.OpenContests() != 0 {
+		t.Errorf("contest not cleaned up")
+	}
+}
+
+func TestTopKNonLocalBidCorrectsIndex(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2")
+	b := NewTopK()
+	b.Index().AddHolder("r", "w0") // stale belief
+	ctx.addJob("j1", "r", 100)
+	b.JobReady(ctx, ctx.jobs["j1"])
+	b.BidReceived(ctx, engine.MsgBid{JobID: "j1", Worker: "w0",
+		Estimate: 10 * time.Second, JobCost: 10 * time.Second, Local: false})
+	for _, h := range b.Index().Holders("r", 0) {
+		if h == "w0" {
+			t.Errorf("non-local bid did not retire stale holder: %v", b.Index().Holders("r", 0))
+		}
+	}
+}
+
+func TestTopKTargetedTimeoutFallsBackToBroadcast(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2")
+	b := NewTopK()
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	if len(ctx.targeted) != 1 || len(ctx.published) != 0 {
+		t.Fatalf("setup: targeted=%v published=%v", ctx.targeted, ctx.published)
+	}
+	// Nobody bid before the window: accounted fallback to broadcast.
+	b.BidWindowExpired(ctx, "j1")
+	if len(ctx.published) != 1 || ctx.published[0] != "j1" {
+		t.Fatalf("published = %v, want broadcast fallback", ctx.published)
+	}
+	if ctx.fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", ctx.fallbacks)
+	}
+	if len(ctx.assigns) != 0 {
+		t.Fatalf("assigned before the broadcast round: %v", ctx.assigns)
+	}
+	// Broadcast round also silent: arbitrary assignment, like bidding.
+	b.BidWindowExpired(ctx, "j1")
+	if len(ctx.assigns) != 1 {
+		t.Fatalf("assigns = %v after second timeout", ctx.assigns)
+	}
+	if ctx.fallbacks != 2 {
+		t.Errorf("fallbacks = %d, want 2", ctx.fallbacks)
+	}
+}
+
+func TestTopKEmptyFleetRetries(t *testing.T) {
+	ctx := newFakeCtx()
+	b := NewTopK()
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	// No workers: candidate set empty, broadcast reaches nobody.
+	if len(ctx.published) != 1 {
+		t.Fatalf("published = %v", ctx.published)
+	}
+	b.BidWindowExpired(ctx, "j1")
+	if len(ctx.assigns) != 0 {
+		t.Error("assigned with no workers")
+	}
+	if len(ctx.windows) != 2 {
+		t.Errorf("windows = %v, want a retry window", ctx.windows)
+	}
+}
+
+func TestTopKIgnoresBidFromOutsideCandidateSet(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7")
+	b := NewTopK()
+	b.Index().AddHolder("r", "w0")
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	targets := map[string]bool{}
+	for _, w := range ctx.targeted[0].workers {
+		targets[w] = true
+	}
+	var outsider string
+	for _, w := range ctx.workers {
+		if !targets[w] {
+			outsider = w
+			break
+		}
+	}
+	if outsider == "" {
+		t.Skip("every worker targeted; nothing to test")
+	}
+	// A straggler bid from a worker this contest never asked must not
+	// win it, but its locality information still feeds the index.
+	b.BidReceived(ctx, engine.MsgBid{JobID: "j1", Worker: outsider,
+		Estimate: time.Nanosecond, JobCost: time.Nanosecond, Local: true})
+	if len(ctx.assigns) != 0 {
+		t.Fatalf("outsider bid won a contest it was not part of: %v", ctx.assigns)
+	}
+	found := false
+	for _, h := range b.Index().Holders("r", 0) {
+		if h == outsider {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("outsider's local bid not indexed")
+	}
+}
+
+func TestTopKWorkerLostScrubsContestsAndIndex(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1", "w2", "w3", "w4")
+	b := NewTopK()
+	b.Index().AddHolder("r", "w0")
+	b.Index().AddHolder("r", "w1")
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	targets := ctx.targeted[0].workers
+	dead := targets[0]
+	rest := targets[1:]
+	b.BidReceived(ctx, engine.MsgBid{JobID: "j1", Worker: dead,
+		Estimate: time.Second, JobCost: time.Second, Local: true})
+	b.WorkerLost(ctx, dead, nil)
+	for _, h := range b.Index().Holders("r", 0) {
+		if h == dead {
+			t.Errorf("dead worker still indexed: %v", b.Index().Holders("r", 0))
+		}
+	}
+	if len(ctx.assigns) != 0 && ctx.assigns[0].worker == dead {
+		t.Fatalf("dead worker's bid won: %v", ctx.assigns)
+	}
+	// Remaining targets bid; the contest must close without the dead one.
+	for i, w := range rest {
+		est := time.Duration(10+i) * time.Second
+		b.BidReceived(ctx, engine.MsgBid{JobID: "j1", Worker: w, Estimate: est, JobCost: est})
+	}
+	if len(ctx.assigns) != 1 || ctx.assigns[0].worker != rest[0] {
+		t.Fatalf("assigns = %v, want %s", ctx.assigns, rest[0])
+	}
+}
+
+func TestTopKCacheEvictedRetiresHolders(t *testing.T) {
+	ctx := newFakeCtx("w0", "w1")
+	b := NewTopK()
+	b.Index().AddHolder("r1", "w0")
+	b.Index().AddHolder("r2", "w0")
+	b.CacheEvicted(ctx, "w0", []string{"r1", "r2"})
+	if b.Index().HolderCount("r1") != 0 || b.Index().HolderCount("r2") != 0 {
+		t.Errorf("evicted keys still indexed")
+	}
+}
+
+func TestTopKPolicyRegistered(t *testing.T) {
+	p, ok := PolicyByName("bidding-topk")
+	if !ok {
+		t.Fatal("bidding-topk not registered")
+	}
+	if got := p.NewAllocator().Name(); got != "bidding-topk" {
+		t.Errorf("allocator name = %q", got)
+	}
+	if got := p.NewAgent(nil).Name(); got != "bidding-topk" {
+		t.Errorf("agent name = %q", got)
+	}
+}

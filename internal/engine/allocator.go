@@ -35,6 +35,10 @@ type Allocator interface {
 	// holds the jobs that were allocated to it and now need rescue. The
 	// master re-issues JobReady for each after this call returns.
 	WorkerLost(ctx AllocCtx, worker string, inflight []*Job)
+	// CacheEvicted delivers a worker's cache-eviction notice (sent only
+	// when the worker's agent enabled them), for policies that maintain
+	// a data-location index.
+	CacheEvicted(ctx AllocCtx, worker string, keys []string)
 	// Tick delivers a timer event scheduled via AllocCtx.ScheduleTick.
 	Tick(ctx AllocCtx, token string)
 }
@@ -59,6 +63,14 @@ type AllocCtx interface {
 	// PublishBidRequest broadcasts a contest for the job to all workers
 	// and returns the number of workers it reached.
 	PublishBidRequest(jobID string) int
+	// PublishBidRequestTo opens a targeted contest: the bid request goes
+	// only to the named workers (dead ones are skipped) and the number
+	// actually reached is returned. Contest cost is O(len(workers))
+	// instead of O(fleet), which is what lets index-driven policies
+	// scale; the caller must fall back to PublishBidRequest (or another
+	// assignment path) when it returns 0, so no job starves on a stale
+	// candidate set.
+	PublishBidRequestTo(jobID string, workers []string) int
 	// ScheduleBidWindow arranges a BidWindowExpired(jobID) event after d.
 	ScheduleBidWindow(jobID string, d time.Duration)
 	// ScheduleTick arranges a Tick(token) event after d.
@@ -89,6 +101,9 @@ func (NopAllocator) JobFinished(AllocCtx, string, string) {}
 
 // WorkerLost implements Allocator with a no-op.
 func (NopAllocator) WorkerLost(AllocCtx, string, []*Job) {}
+
+// CacheEvicted implements Allocator with a no-op.
+func (NopAllocator) CacheEvicted(AllocCtx, string, []string) {}
 
 // Tick implements Allocator with a no-op.
 func (NopAllocator) Tick(AllocCtx, string) {}

@@ -42,6 +42,7 @@ type Master struct {
 	offers       int
 	rejections   int
 	contests     int
+	contestMsgs  int
 	bids         int
 	fallbacks    int
 	failures     int
@@ -106,6 +107,7 @@ func (m *Master) Report() *Report {
 		Offers:        m.offers,
 		Rejections:    m.rejections,
 		Contests:      m.contests,
+		ContestMsgs:   m.contestMsgs,
 		Bids:          m.bids,
 		Fallbacks:     m.fallbacks,
 		Records:       m.records,
@@ -173,6 +175,10 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 		m.onJobDone(msg)
 	case MsgTick:
 		m.alloc.Tick(m, msg.Token)
+	case MsgCacheEvict:
+		if m.workerSet[msg.Worker] {
+			m.alloc.CacheEvicted(m, msg.Worker, msg.Keys)
+		}
 	case MsgWorkerDead:
 		m.onWorkerDead(msg.Worker)
 	case msgAbort:
@@ -344,8 +350,15 @@ func (m *Master) Aborted() bool { return m.aborted }
 // Clock implements AllocCtx.
 func (m *Master) Clock() vclock.Clock { return m.clk }
 
-// Workers implements AllocCtx.
-func (m *Master) Workers() []string { return m.workers }
+// Workers implements AllocCtx. It returns a copy: onWorkerDead splices
+// the internal slice in place, so handing out the alias would let a
+// death mutate a list an allocator captured earlier (e.g. a contest's
+// expected-bidder set shrinking underneath it).
+func (m *Master) Workers() []string {
+	out := make([]string, len(m.workers))
+	copy(out, m.workers)
+	return out
+}
 
 // Job implements AllocCtx.
 func (m *Master) Job(id string) *Job {
@@ -397,7 +410,54 @@ func (m *Master) PublishBidRequest(jobID string) int {
 	}
 	m.contests++
 	m.trace(TraceContest, jobID, "")
-	return m.ep.Publish(TopicBids, MsgBidRequest{Job: rec.Job})
+	n := m.ep.Publish(TopicBids, MsgBidRequest{Job: rec.Job})
+	m.contestMsgs += n
+	return n
+}
+
+// multiSender is the optional targeted-multicast capability a Port may
+// provide (the in-process broker endpoint does). Masters on ports
+// without it fall back to one direct send per target.
+type multiSender interface {
+	SendMulti(targets []string, payload any) int
+}
+
+// PublishBidRequestTo implements AllocCtx: a targeted contest reaching
+// only the named workers. Targets that are not live registered workers
+// are skipped; the trace records one contest event per reached target
+// (Node = target), so trace consumers can check assignments against the
+// contested set.
+func (m *Master) PublishBidRequestTo(jobID string, workers []string) int {
+	rec := m.records[jobID]
+	if rec == nil || len(workers) == 0 {
+		return 0
+	}
+	live := workers[:0:0]
+	for _, w := range workers {
+		if m.workerSet[w] {
+			live = append(live, w)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	m.contests++
+	req := MsgBidRequest{Job: rec.Job}
+	var n int
+	if ms, ok := m.ep.(multiSender); ok {
+		n = ms.SendMulti(live, req)
+	} else {
+		for _, w := range live {
+			if m.ep.Send(w, req) {
+				n++
+			}
+		}
+	}
+	m.contestMsgs += n
+	for _, w := range live {
+		m.trace(TraceContest, jobID, w)
+	}
+	return n
 }
 
 // ScheduleBidWindow implements AllocCtx.

@@ -100,6 +100,17 @@ type MsgNoWork struct {
 	Backoff time.Duration
 }
 
+// MsgCacheEvict notifies the master that a worker's cache displaced the
+// listed data keys, so the master's data-location index can forget the
+// worker as a holder. Workers send it only when their policy agent asks
+// for eviction notices (Worker.EnableEvictionNotices) — policies without
+// a location index never pay the extra traffic. Notices are advisory
+// and may be lost or reordered; the index self-corrects from later bids.
+type MsgCacheEvict struct {
+	Worker string
+	Keys   []string
+}
+
 // MsgJobDone reports a completed job together with the jobs the task
 // produced downstream (Listing 2, line 14: master.sendJob(newJob)).
 type MsgJobDone struct {

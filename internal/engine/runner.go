@@ -270,10 +270,13 @@ type Report struct {
 	// data-load metric. Downloads counts individual transfers.
 	DataLoadMB float64
 	Downloads  int
-	// Scheduling diagnostics.
+	// Scheduling diagnostics. ContestMsgs counts individual bid-request
+	// deliveries (broadcast reach plus targeted sends) — the wire cost
+	// that separates O(fleet) from O(K) contest policies.
 	Offers           int
 	Rejections       int
 	Contests         int
+	ContestMsgs      int
 	Bids             int
 	Fallbacks        int
 	MeanAllocLatency time.Duration

@@ -76,7 +76,7 @@ func (c *TaskContext) RequireData(key string, sizeMB float64) bool {
 	}
 	d := w.link.TransferTime(sizeMB, w.clk.Now())
 	w.clk.Sleep(d)
-	w.cache.Put(key, sizeMB)
+	w.notifyEvictions(w.cache.Put(key, sizeMB))
 	w.costs.ObserveTransfer(sizeMB, d)
 	return false
 }

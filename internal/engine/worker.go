@@ -65,6 +65,7 @@ type Worker struct {
 	killed       bool
 	stopped      bool
 	registered   bool
+	evictNotify  bool
 }
 
 // WorkerSpec configures one worker node.
@@ -387,6 +388,30 @@ func (w *Worker) dataPending(key string) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.pendingData[key] > 0
+}
+
+// EnableEvictionNotices makes the worker report cache evictions to the
+// master (MsgCacheEvict) so a master-side data-location index stays
+// fresh. Agents of index-driven policies call it from Start; it is off
+// by default so other policies pay no extra traffic.
+func (w *Worker) EnableEvictionNotices() {
+	w.mu.Lock()
+	w.evictNotify = true
+	w.mu.Unlock()
+}
+
+// notifyEvictions forwards cache-displaced keys to the master when the
+// agent asked for eviction notices.
+func (w *Worker) notifyEvictions(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	w.mu.Lock()
+	notify := w.evictNotify && !w.killed && !w.stopped
+	w.mu.Unlock()
+	if notify {
+		w.ep.Send(MasterName, MsgCacheEvict{Worker: w.name, Keys: keys})
+	}
 }
 
 // JobDataLocal reports whether the job's data is local to this worker —

@@ -1,0 +1,184 @@
+// Package locindex implements the master-side data-location index the
+// scalable bidding policy plans contests with: an eventually-consistent
+// map from data key to the workers believed to hold that data locally,
+// plus a load sketch of each worker's believed queued cost.
+//
+// The index is advisory, never authoritative. It is fed from protocol
+// traffic the master sees anyway — bids (which carry locality and the
+// bidder's current workload), assignments (the winner commits to fetch
+// the data), completions (the data is now cached), cache-eviction
+// notices, and worker deaths — and it may lag reality between those
+// observations (a cache shrink evicts without a notice reaching the
+// master before the next contest, a worker dies mid-update). Consumers
+// must therefore treat every answer as a hint: a contest targeted at
+// indexed holders still collects real bids, and a holder whose bid
+// comes back non-local is corrected on the spot. Staleness costs a
+// little contest efficiency, never correctness.
+//
+// All methods are plain single-threaded operations; the master actor
+// goroutine is the only caller, so there is no locking. Every answer is
+// deterministic: holder sets are kept name-sorted and sampling draws
+// from a caller-supplied seeded source, so identically-seeded runs
+// replay identically.
+package locindex
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// DefaultHolderCap bounds how many holders the index tracks per key.
+// Tracking more than a contest would ever target only costs memory on
+// hot keys; once a key has this many known holders, additional ones are
+// not recorded until a slot frees (eviction, death, non-local bid).
+const DefaultHolderCap = 16
+
+// Index is the data-location index plus load sketch. The zero value is
+// not usable; use New.
+type Index struct {
+	holderCap int
+	holders   map[string][]string // key -> name-sorted workers believed to hold it
+	load      map[string]time.Duration
+}
+
+// New returns an empty index. holderCap bounds the holders tracked per
+// key; zero or negative means DefaultHolderCap.
+func New(holderCap int) *Index {
+	if holderCap <= 0 {
+		holderCap = DefaultHolderCap
+	}
+	return &Index{
+		holderCap: holderCap,
+		holders:   make(map[string][]string),
+		load:      make(map[string]time.Duration),
+	}
+}
+
+// AddHolder records that worker is believed to hold key. A full holder
+// set drops the update (the key is already well covered for targeting).
+// Empty keys are ignored.
+func (x *Index) AddHolder(key, worker string) {
+	if key == "" || worker == "" {
+		return
+	}
+	hs := x.holders[key]
+	i := sort.SearchStrings(hs, worker)
+	if i < len(hs) && hs[i] == worker {
+		return // already indexed
+	}
+	if len(hs) >= x.holderCap {
+		return
+	}
+	hs = append(hs, "")
+	copy(hs[i+1:], hs[i:])
+	hs[i] = worker
+	x.holders[key] = hs
+}
+
+// RemoveHolder drops the belief that worker holds key (cache-eviction
+// notice, or a bid that came back non-local).
+func (x *Index) RemoveHolder(key, worker string) {
+	hs := x.holders[key]
+	i := sort.SearchStrings(hs, worker)
+	if i >= len(hs) || hs[i] != worker {
+		return
+	}
+	hs = append(hs[:i], hs[i+1:]...)
+	if len(hs) == 0 {
+		delete(x.holders, key)
+	} else {
+		x.holders[key] = hs
+	}
+}
+
+// Holders returns up to max workers believed to hold key, sorted by
+// ascending believed load (ties by name, so the answer is
+// deterministic). max <= 0 returns all.
+func (x *Index) Holders(key string, max int) []string {
+	hs := x.holders[key]
+	if len(hs) == 0 {
+		return nil
+	}
+	out := append([]string(nil), hs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := x.load[out[i]], x.load[out[j]]
+		if li != lj {
+			return li < lj
+		}
+		return out[i] < out[j]
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// HolderCount returns how many workers are indexed for key.
+func (x *Index) HolderCount(key string) int { return len(x.holders[key]) }
+
+// Keys returns how many keys currently have at least one indexed holder.
+func (x *Index) Keys() int { return len(x.holders) }
+
+// SetLoad records an authoritative queued-cost observation for worker —
+// bids carry the bidder's current unfinished workload, which supersedes
+// whatever the sketch believed.
+func (x *Index) SetLoad(worker string, load time.Duration) {
+	if load < 0 {
+		load = 0
+	}
+	x.load[worker] = load
+}
+
+// AddLoad adjusts worker's believed queued cost by delta (positive on
+// assignment, negative on completion), clamping at zero.
+func (x *Index) AddLoad(worker string, delta time.Duration) {
+	l := x.load[worker] + delta
+	if l < 0 {
+		l = 0
+	}
+	x.load[worker] = l
+}
+
+// Load returns worker's believed queued cost; unknown workers read as
+// zero (an attractive target, which is exactly right for a fresh node).
+func (x *Index) Load(worker string) time.Duration { return x.load[worker] }
+
+// RemoveWorker scrubs a dead worker from every holder set and the load
+// sketch.
+func (x *Index) RemoveWorker(worker string) {
+	for key := range x.holders {
+		x.RemoveHolder(key, worker)
+	}
+	delete(x.load, worker)
+}
+
+// SampleLight draws up to n distinct workers from the fleet by
+// power-of-two-choices: each slot draws two uniform candidates from
+// workers and keeps the one with the lower believed load (first draw
+// wins ties). Workers in exclude are skipped; rng must be the caller's
+// seeded source so the draw sequence replays deterministically.
+func (x *Index) SampleLight(rng *rand.Rand, workers []string, n int, exclude map[string]bool) []string {
+	if n <= 0 || len(workers) == 0 {
+		return nil
+	}
+	var out []string
+	picked := make(map[string]bool, n)
+	// Each slot is two draws; a slot whose pick is excluded or already
+	// chosen is simply lost rather than retried, keeping the number of
+	// rng draws — and therefore the replayed sequence — fixed.
+	for slot := 0; slot < n; slot++ {
+		a := workers[rng.Intn(len(workers))]
+		b := workers[rng.Intn(len(workers))]
+		w := a
+		if x.load[b] < x.load[a] {
+			w = b
+		}
+		if picked[w] || (exclude != nil && exclude[w]) {
+			continue
+		}
+		picked[w] = true
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package locindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestAddRemoveHolders(t *testing.T) {
+	x := New(0)
+	x.AddHolder("k1", "w2")
+	x.AddHolder("k1", "w0")
+	x.AddHolder("k1", "w1")
+	x.AddHolder("k1", "w1") // duplicate is a no-op
+	if got := x.HolderCount("k1"); got != 3 {
+		t.Fatalf("HolderCount = %d, want 3", got)
+	}
+	if got := x.Holders("k1", 0); !reflect.DeepEqual(got, []string{"w0", "w1", "w2"}) {
+		t.Fatalf("Holders = %v", got)
+	}
+	x.RemoveHolder("k1", "w1")
+	x.RemoveHolder("k1", "nope") // absent is a no-op
+	if got := x.Holders("k1", 0); !reflect.DeepEqual(got, []string{"w0", "w2"}) {
+		t.Fatalf("after remove, Holders = %v", got)
+	}
+	x.RemoveHolder("k1", "w0")
+	x.RemoveHolder("k1", "w2")
+	if x.Keys() != 0 {
+		t.Fatalf("empty key should be deleted, Keys = %d", x.Keys())
+	}
+}
+
+func TestHolderCap(t *testing.T) {
+	x := New(2)
+	x.AddHolder("k", "a")
+	x.AddHolder("k", "b")
+	x.AddHolder("k", "c") // over cap, dropped
+	if got := x.Holders("k", 0); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Holders = %v, want capped [a b]", got)
+	}
+	x.RemoveHolder("k", "a")
+	x.AddHolder("k", "c") // slot freed
+	if got := x.Holders("k", 0); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("Holders = %v, want [b c]", got)
+	}
+}
+
+func TestHoldersSortedByLoad(t *testing.T) {
+	x := New(0)
+	for _, w := range []string{"a", "b", "c", "d"} {
+		x.AddHolder("k", w)
+	}
+	x.SetLoad("a", 30*time.Second)
+	x.SetLoad("b", 10*time.Second)
+	x.SetLoad("c", 10*time.Second)
+	// d unknown -> load 0, lightest.
+	if got := x.Holders("k", 0); !reflect.DeepEqual(got, []string{"d", "b", "c", "a"}) {
+		t.Fatalf("Holders = %v, want load-sorted [d b c a]", got)
+	}
+	if got := x.Holders("k", 2); !reflect.DeepEqual(got, []string{"d", "b"}) {
+		t.Fatalf("Holders(max=2) = %v", got)
+	}
+}
+
+func TestLoadSketch(t *testing.T) {
+	x := New(0)
+	x.SetLoad("w", 5*time.Second)
+	x.AddLoad("w", 3*time.Second)
+	if got := x.Load("w"); got != 8*time.Second {
+		t.Fatalf("Load = %v, want 8s", got)
+	}
+	x.AddLoad("w", -20*time.Second)
+	if got := x.Load("w"); got != 0 {
+		t.Fatalf("Load should clamp at zero, got %v", got)
+	}
+	x.SetLoad("w", -time.Second)
+	if got := x.Load("w"); got != 0 {
+		t.Fatalf("SetLoad should clamp at zero, got %v", got)
+	}
+}
+
+func TestRemoveWorker(t *testing.T) {
+	x := New(0)
+	x.AddHolder("k1", "a")
+	x.AddHolder("k1", "b")
+	x.AddHolder("k2", "a")
+	x.SetLoad("a", time.Second)
+	x.RemoveWorker("a")
+	if got := x.Holders("k1", 0); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("k1 holders = %v", got)
+	}
+	if x.HolderCount("k2") != 0 {
+		t.Fatalf("k2 should be empty")
+	}
+	if x.Load("a") != 0 {
+		t.Fatalf("dead worker load should be gone")
+	}
+}
+
+func TestSampleLightPrefersLowLoad(t *testing.T) {
+	x := New(0)
+	workers := []string{"heavy", "light"}
+	x.SetLoad("heavy", time.Hour)
+	x.SetLoad("light", 0)
+	rng := rand.New(rand.NewSource(1))
+	// With two workers, every two-choice slot that sees both picks
+	// "light"; over many slots "light" must dominate the sample.
+	var light, heavy int
+	for i := 0; i < 200; i++ {
+		for _, w := range x.SampleLight(rng, workers, 1, nil) {
+			if w == "light" {
+				light++
+			} else {
+				heavy++
+			}
+		}
+	}
+	if light <= heavy*2 {
+		t.Fatalf("two-choice sampling should favor the light worker: light=%d heavy=%d", light, heavy)
+	}
+}
+
+func TestSampleLightDeterministicAndDistinct(t *testing.T) {
+	x := New(0)
+	workers := make([]string, 50)
+	for i := range workers {
+		workers[i] = string(rune('a' + i%26))
+	}
+	a := x.SampleLight(rand.New(rand.NewSource(7)), workers, 8, nil)
+	b := x.SampleLight(rand.New(rand.NewSource(7)), workers, 8, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must give same sample: %v vs %v", a, b)
+	}
+	seen := map[string]bool{}
+	for _, w := range a {
+		if seen[w] {
+			t.Fatalf("duplicate %q in sample %v", w, a)
+		}
+		seen[w] = true
+	}
+}
+
+func TestSampleLightExcludes(t *testing.T) {
+	x := New(0)
+	workers := []string{"a", "b"}
+	exclude := map[string]bool{"a": true}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		for _, w := range x.SampleLight(rng, workers, 2, exclude) {
+			if w == "a" {
+				t.Fatalf("excluded worker sampled")
+			}
+		}
+	}
+	if got := x.SampleLight(rng, nil, 2, nil); got != nil {
+		t.Fatalf("empty fleet should sample nothing, got %v", got)
+	}
+}

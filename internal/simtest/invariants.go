@@ -60,12 +60,19 @@ const (
 	// assignAfterOffer: the baseline assigns only by a worker accepting
 	// an offer previously extended to it.
 	assignAfterOffer
+	// assignAfterTargetedContest: the scalable bidding policy assigns
+	// only to a node its targeted contests actually asked, unless the
+	// job went through an accounted broadcast fallback — every
+	// assignment is index-consistent or explicitly fell back.
+	assignAfterTargetedContest
 )
 
 func disciplineOf(policy string) assignDiscipline {
 	switch policy {
 	case "bidding", "bidding-fast":
 		return assignAfterContest
+	case "bidding-topk":
+		return assignAfterTargetedContest
 	case "baseline":
 		return assignAfterOffer
 	default:
@@ -75,12 +82,18 @@ func disciplineOf(policy string) assignDiscipline {
 
 // jobState accumulates one job's trace history during the linear scan.
 type jobState struct {
-	injected  int
-	terminal  int
-	contests  int
-	lastNode  string // node of the most recent assigned/offered
-	offeredTo map[string]bool
-	lastAt    time.Time
+	injected int
+	terminal int
+	contests int
+	// contestedOn holds the nodes this job's targeted contests asked;
+	// broadcast records whether any whole-fleet contest was opened
+	// (targeted contests trace one event per target, broadcasts one
+	// event with an empty node).
+	contestedOn map[string]bool
+	broadcast   bool
+	lastNode    string // node of the most recent assigned/offered
+	offeredTo   map[string]bool
+	lastAt      time.Time
 }
 
 // checkJobHistories walks the trace once, enforcing the per-job
@@ -102,7 +115,7 @@ func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...
 	st := func(id string) *jobState {
 		s := jobs[id]
 		if s == nil {
-			s = &jobState{offeredTo: make(map[string]bool)}
+			s = &jobState{offeredTo: make(map[string]bool), contestedOn: make(map[string]bool)}
 			jobs[id] = s
 		}
 		return s
@@ -130,6 +143,11 @@ func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...
 			}
 		case engine.TraceContest:
 			s.contests++
+			if ev.Node == "" {
+				s.broadcast = true
+			} else {
+				s.contestedOn[ev.Node] = true
+			}
 		case engine.TraceOffered:
 			s.offeredTo[ev.Node] = true
 			s.lastNode = ev.Node
@@ -144,6 +162,16 @@ func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...
 				if !s.offeredTo[ev.Node] {
 					return fail("assigned-after-offer",
 						"job %s assigned to %s which was never offered it", ev.JobID, ev.Node)
+				}
+			case assignAfterTargetedContest:
+				if s.contests == 0 {
+					return fail("assigned-after-contest",
+						"job %s assigned to %s with no preceding bid contest", ev.JobID, ev.Node)
+				}
+				if !s.broadcast && !s.contestedOn[ev.Node] {
+					return fail("index-consistent-assignment",
+						"job %s assigned to %s, which no targeted contest asked and no broadcast fallback covers",
+						ev.JobID, ev.Node)
 				}
 			}
 			s.lastNode = ev.Node

@@ -123,17 +123,22 @@ type Limits struct {
 	MaxJobs    int
 	MaxKeys    int
 	MaxKills   int
+	// BigFleetWorkers, when above MaxWorkers, lets a fraction of
+	// scenarios draw a fleet of up to this many workers — the scale
+	// regime the targeted-contest policy exists for, where broadcast
+	// O(fleet) contests stop being tenable. Zero disables big fleets.
+	BigFleetWorkers int
 }
 
 // DefaultLimits is the standard fuzzing envelope.
 func DefaultLimits() Limits {
-	return Limits{MaxWorkers: 5, MaxJobs: 30, MaxKeys: 8, MaxKills: 2}
+	return Limits{MaxWorkers: 5, MaxJobs: 30, MaxKeys: 8, MaxKills: 2, BigFleetWorkers: 200}
 }
 
 // ShortLimits is the CI envelope: smaller fleets and streams, same
 // fault coverage.
 func ShortLimits() Limits {
-	return Limits{MaxWorkers: 4, MaxJobs: 14, MaxKeys: 5, MaxKills: 2}
+	return Limits{MaxWorkers: 4, MaxJobs: 14, MaxKeys: 5, MaxKills: 2, BigFleetWorkers: 64}
 }
 
 // minKillAt keeps kills clear of the registration handshake: in
@@ -150,7 +155,13 @@ func Generate(seed int64, lim Limits) *Scenario {
 	sc := &Scenario{Seed: seed}
 
 	// Fleet: 1..MaxWorkers workers with independent speed/noise/storage.
+	// Roughly one scenario in six instead draws a big fleet (up to
+	// BigFleetWorkers), so the invariants also run against the scale
+	// regime that targeted contests exist for.
 	nWorkers := 1 + rng.Intn(lim.MaxWorkers)
+	if lim.BigFleetWorkers > lim.MaxWorkers && rng.Intn(6) == 0 {
+		nWorkers = lim.MaxWorkers + 1 + rng.Intn(lim.BigFleetWorkers-lim.MaxWorkers)
+	}
 	maxJobMB := 0.0
 	for i := 0; i < nWorkers; i++ {
 		w := WorkerCfg{

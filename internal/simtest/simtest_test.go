@@ -58,6 +58,35 @@ func TestGeneratedScenariosAreWellFormed(t *testing.T) {
 	}
 }
 
+// TestGenerateDrawsBigFleets: with BigFleetWorkers set, a fraction of
+// scenarios must land in the scale regime (fleets past MaxWorkers, up
+// to the big-fleet cap) — the regime the targeted-contest policy is
+// for — and those scenarios must hold every invariant like any other.
+func TestGenerateDrawsBigFleets(t *testing.T) {
+	lim := ShortLimits()
+	var bigSeeds []int64
+	for seed := int64(1); seed <= 120; seed++ {
+		sc := Generate(seed, lim)
+		if n := len(sc.Workers); n > lim.MaxWorkers {
+			if n > lim.BigFleetWorkers {
+				t.Fatalf("seed %d: %d workers exceeds BigFleetWorkers %d",
+					seed, n, lim.BigFleetWorkers)
+			}
+			bigSeeds = append(bigSeeds, seed)
+		}
+	}
+	if len(bigSeeds) < 5 {
+		t.Fatalf("only %d of 120 seeds drew big fleets, want a steady fraction", len(bigSeeds))
+	}
+	// One full invariant pass on a big fleet with the targeted-contest
+	// policy: the index-consistency discipline must hold at scale.
+	pol, _ := core.PolicyByName("bidding-topk")
+	sc := Generate(bigSeeds[0], lim)
+	if v := CheckScenario(sc, Options{Limits: lim, Policies: []core.Policy{pol}}); v != nil {
+		t.Fatalf("big fleet (%d workers): %v", len(sc.Workers), v)
+	}
+}
+
 // TestSeedSweepHoldsInvariants is the in-tree slice of the fuzz sweep:
 // every policy, every invariant, over a block of seeds. xflow-fuzz runs
 // the same check over much larger ranges.

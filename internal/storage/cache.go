@@ -75,11 +75,14 @@ func (c *Cache) Access(key string) bool {
 }
 
 // Put stores key with the given size, evicting least-recently-used
-// entries as needed. Storing an entry larger than the whole capacity
-// succeeds (the paper's workers always keep the repository they just
-// cloned) but evicts everything else. Re-putting an existing key updates
-// its size and recency.
-func (c *Cache) Put(key string, sizeMB float64) {
+// entries as needed and returning the keys it displaced (in eviction
+// order; nil when nothing was evicted — callers maintaining external
+// location metadata, like the master's data-location index, forward
+// them as eviction notices). Storing an entry larger than the whole
+// capacity succeeds (the paper's workers always keep the repository
+// they just cloned) but evicts everything else. Re-putting an existing
+// key updates its size and recency.
+func (c *Cache) Put(key string, sizeMB float64) (evicted []string) {
 	if sizeMB < 0 {
 		sizeMB = 0
 	}
@@ -94,14 +97,15 @@ func (c *Cache) Put(key string, sizeMB float64) {
 		c.index[key] = c.order.PushFront(&entry{key: key, sizeMB: sizeMB})
 		c.used += sizeMB
 	}
-	c.evictLocked()
+	return c.evictLocked()
 }
 
 // evictLocked drops LRU entries until the cache fits its capacity,
-// never evicting the most recently used entry.
-func (c *Cache) evictLocked() {
+// never evicting the most recently used entry. It returns the evicted
+// keys in eviction order.
+func (c *Cache) evictLocked() (evicted []string) {
 	if c.capacity <= 0 {
-		return
+		return nil
 	}
 	for c.used > c.capacity && c.order.Len() > 1 {
 		el := c.order.Back()
@@ -111,7 +115,9 @@ func (c *Cache) evictLocked() {
 		c.used -= e.sizeMB
 		c.stats.Evictions++
 		c.stats.EvictedMB += e.sizeMB
+		evicted = append(evicted, e.key)
 	}
+	return evicted
 }
 
 // Remove deletes key if present and reports whether it was.

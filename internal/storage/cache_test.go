@@ -245,3 +245,23 @@ func abs(x float64) float64 {
 	}
 	return x
 }
+
+func TestPutReturnsEvictedKeys(t *testing.T) {
+	c := New(100)
+	if ev := c.Put("a", 40); ev != nil {
+		t.Errorf("first Put evicted %v", ev)
+	}
+	c.Put("b", 40)
+	// 60MB more displaces a then b (LRU order).
+	ev := c.Put("c", 60)
+	if len(ev) != 1 || ev[0] != "a" {
+		t.Errorf("evicted = %v, want [a]", ev)
+	}
+	ev = c.Put("d", 90)
+	if len(ev) != 2 || ev[0] != "b" || ev[1] != "c" {
+		t.Errorf("evicted = %v, want [b c] in LRU order", ev)
+	}
+	if got := c.Stats().Evictions; got != 3 {
+		t.Errorf("Evictions = %d, want 3", got)
+	}
+}

@@ -60,6 +60,7 @@ func init() {
 	gob.Register(engine.MsgRequestJob{})
 	gob.Register(engine.MsgNoWork{})
 	gob.Register(engine.MsgJobDone{})
+	gob.Register(engine.MsgCacheEvict{})
 	gob.Register(engine.MsgEmit{})
 	gob.Register(engine.MsgStop{})
 	gob.Register(engine.MsgWorkerDead{})
