@@ -210,12 +210,13 @@ func runCell(wlName, profName string, opts experiments.SimOptions) error {
 	}
 	t := &metrics.Table{
 		Title:  fmt.Sprintf("Cell %s / %s (%d iterations)", jc, prof, opts.Iterations),
-		Header: []string{"policy", "mean time", "mean misses", "mean data (MB)"},
+		Header: []string{"policy", "mean time", "mean misses", "mean data (MB)", "mean contest msgs"},
 	}
 	for _, pol := range []string{"bidding", "baseline"} {
 		if s := cell.Series[pol]; s != nil {
 			t.AddRow(pol, metrics.Seconds(s.MeanSeconds()),
-				metrics.Count(s.MeanMisses()), metrics.MB(s.MeanDataMB()))
+				metrics.Count(s.MeanMisses()), metrics.MB(s.MeanDataMB()),
+				metrics.Count(s.MeanContestMsgs()))
 		}
 	}
 	t.Render(os.Stdout)
@@ -231,12 +232,14 @@ func writeGridCSV(dir string, rows3 []experiments.Fig3Row, rows4 []experiments.F
 		return err
 	}
 	f3 := &metrics.Table{Header: []string{"workload", "bidding_s", "baseline_s",
-		"bidding_misses", "baseline_misses", "bidding_mb", "baseline_mb"}}
+		"bidding_misses", "baseline_misses", "bidding_mb", "baseline_mb",
+		"bidding_contest_msgs", "baseline_contest_msgs"}}
 	for _, r := range rows3 {
 		f3.AddRow(r.Workload.String(),
 			fmt.Sprintf("%.2f", r.BidSec), fmt.Sprintf("%.2f", r.BaseSec),
 			fmt.Sprintf("%.2f", r.BidMiss), fmt.Sprintf("%.2f", r.BaseMiss),
-			fmt.Sprintf("%.2f", r.BidMB), fmt.Sprintf("%.2f", r.BaseMB))
+			fmt.Sprintf("%.2f", r.BidMB), fmt.Sprintf("%.2f", r.BaseMB),
+			fmt.Sprintf("%.2f", r.BidMsgs), fmt.Sprintf("%.2f", r.BaseMsgs))
 	}
 	f4 := &metrics.Table{Header: []string{"workload", "workers", "bidding_s", "baseline_s"}}
 	for _, r := range rows4 {

@@ -33,6 +33,7 @@ func main() {
 		jobs       = flag.Int("jobs", 24, "number of jobs to stream")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		scale      = flag.Float64("time-scale", 100, "clock compression factor (1 = real time)")
+		runs       = flag.Int("runs", 1, "workflow runs to stream over one long-lived master (serve mode when > 1)")
 	)
 	flag.Parse()
 
@@ -55,8 +56,13 @@ func main() {
 	}
 	defer port.Close()
 
-	arrivals := workload.Generate(jc, workload.Options{Jobs: *jobs, Seed: *seed})
 	rng := rand.New(rand.NewSource(*seed))
+	if *runs > 1 {
+		serve(clk, port, pol, jc, *jobs, *seed, *workers, *runs, rng)
+		return
+	}
+
+	arrivals := workload.Generate(jc, workload.Options{Jobs: *jobs, Seed: *seed})
 	master := engine.NewMaster(clk, port, pol.NewAllocator(), workload.Workflow(),
 		arrivals, *workers, rng)
 	fmt.Printf("xflow-master: %s scheduler, %d jobs (%s), waiting for %d workers…\n",
@@ -65,17 +71,53 @@ func main() {
 	start := time.Now()
 	clk.Go(master.Run)
 	clk.Wait()
-	rep := master.Report()
+	printReport("Run report (master view)", master.Report(), time.Since(start))
+}
 
+// serve runs a long-lived cluster master: one fleet, *runs* workflow
+// sessions streamed through it back to back, a per-session report each.
+func serve(clk vclock.Clock, port engine.Port, pol core.Policy,
+	jc workload.JobConfig, jobs int, seed int64, workers, runs int, rng *rand.Rand) {
+	master := engine.NewClusterMaster(clk, port, pol.NewAllocator(), workers, rng)
+	fmt.Printf("xflow-master: serve mode, %s scheduler, %d runs x %d jobs (%s), waiting for %d workers…\n",
+		pol.Name, runs, jobs, jc, workers)
+
+	start := time.Now()
+	clk.Go(master.Run)
+	clk.Go(func() {
+		master.WaitReady()
+		for r := 0; r < runs; r++ {
+			arrivals := workload.Generate(jc, workload.Options{Jobs: jobs, Seed: seed + int64(r)})
+			sess := master.OpenSession(fmt.Sprintf("run-%d", r), workload.Workflow())
+			var last time.Duration
+			for _, arr := range arrivals {
+				if arr.At > last {
+					clk.Sleep(arr.At - last)
+					last = arr.At
+				}
+				sess.Submit(arr.Job)
+			}
+			sess.Close()
+			if rep := sess.Wait(); rep != nil {
+				printReport(fmt.Sprintf("Session %s", sess.ID()), rep, time.Since(start))
+			}
+		}
+		master.Shutdown()
+	})
+	clk.Wait()
+}
+
+func printReport(title string, rep *engine.Report, wall time.Duration) {
 	t := &metrics.Table{
-		Title:  "Run report (master view)",
+		Title:  title,
 		Header: []string{"metric", "value"},
 	}
 	t.AddRow("scheduler", rep.Allocator)
 	t.AddRow("jobs completed", fmt.Sprintf("%d", rep.JobsCompleted))
 	t.AddRow("makespan (engine time)", rep.Makespan.Round(time.Millisecond).String())
-	t.AddRow("wall time", time.Since(start).Round(time.Millisecond).String())
+	t.AddRow("wall time", wall.Round(time.Millisecond).String())
 	t.AddRow("contests", fmt.Sprintf("%d", rep.Contests))
+	t.AddRow("contest msgs", fmt.Sprintf("%d", rep.ContestMsgs))
 	t.AddRow("bids", fmt.Sprintf("%d", rep.Bids))
 	t.AddRow("offers", fmt.Sprintf("%d", rep.Offers))
 	t.AddRow("rejections", fmt.Sprintf("%d", rep.Rejections))

@@ -87,6 +87,7 @@ func main() {
 		t.AddRow("data load", metrics.MB(rep.DataLoadMB)+" MB")
 		t.AddRow("contests / bids / fallbacks",
 			fmt.Sprintf("%d / %d / %d", rep.Contests, rep.Bids, rep.Fallbacks))
+		t.AddRow("contest msgs", fmt.Sprintf("%d", rep.ContestMsgs))
 		t.AddRow("offers / rejections", fmt.Sprintf("%d / %d", rep.Offers, rep.Rejections))
 		t.AddRow("mean allocation latency", rep.MeanAllocLatency.Round(time.Microsecond).String())
 		flow := metrics.Flow(rep.Records)

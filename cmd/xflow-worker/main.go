@@ -49,12 +49,22 @@ func main() {
 	}
 
 	clk := vclock.NewScaledReal(*scale)
-	port, err := transport.Dial(*brokerAddr, *name, 0, clk)
+	// A long-lived worker must survive broker restarts: the auto client
+	// redials with capped exponential backoff and re-registers with the
+	// master (which idempotently re-acks a known name) on every
+	// reconnect, instead of exiting on the first dropped TCP connection.
+	port, err := transport.DialAuto(*brokerAddr, *name, 0, clk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xflow-worker: dial:", err)
 		os.Exit(1)
 	}
 	defer port.Close()
+	workerName := *name
+	port.SetOnReconnect(func(p *transport.AutoClient) {
+		fmt.Fprintf(os.Stderr, "xflow-worker: %s reconnected to broker (attempt %d), re-registering\n",
+			workerName, p.Reconnects())
+		p.Send(engine.MasterName, engine.MsgRegister{Worker: workerName})
+	})
 
 	st := engine.NewWorkerState(engine.WorkerSpec{
 		Name:    *name,

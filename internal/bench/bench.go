@@ -24,6 +24,7 @@ import (
 	"crossflow/internal/core"
 	"crossflow/internal/engine"
 	"crossflow/internal/experiments"
+	"crossflow/internal/netsim"
 	"crossflow/internal/storage"
 	"crossflow/internal/vclock"
 	"crossflow/internal/workload"
@@ -48,6 +49,7 @@ func Suite() []Spec {
 		{"broker_publish_fanout", "kernel", benchPublishFanout},
 		{"storage_cache_put_access", "kernel", benchCachePutAccess},
 		{"engine_throughput", "engine", benchEngineThroughput},
+		{"serve_w50", "engine", benchServeSteadyState},
 		{"fleet_w5_bidding", "scale", benchFleetScaling(5, crossflow.Bidding)},
 		{"fleet_w5_bidding_topk", "scale", benchFleetScaling(5, crossflow.BiddingTopK)},
 		{"fleet_w50_bidding", "scale", benchFleetScaling(50, crossflow.Bidding)},
@@ -207,6 +209,85 @@ func benchEngineThroughput(b *testing.B) {
 	}
 	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
 		b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
+	}
+}
+
+// benchServeSteadyState measures the long-lived cluster runtime in its
+// deployment shape: one 50-worker fleet stays up while workflow
+// sessions stream through it back to back, caches staying warm across
+// sessions. Each op is one full session (open, paced submits, close,
+// report); the headline metric is steady-state jobs per second of wall
+// time.
+func benchServeSteadyState(b *testing.B) {
+	const (
+		fleet = 50
+		jobs  = 120
+		keys  = 40
+	)
+	pol, _ := core.PolicyByName("bidding")
+	clk := vclock.NewSim()
+	states := make([]*engine.WorkerState, fleet)
+	for j := range states {
+		states[j] = engine.NewWorkerState(engine.WorkerSpec{
+			Name: fmt.Sprintf("w%04d", j),
+			Net:  netsim.Speed{BaseMBps: 25},
+			RW:   netsim.Speed{BaseMBps: 100},
+			Seed: int64(j + 1),
+		}, nil)
+	}
+	c, err := engine.NewCluster(engine.ClusterConfig{
+		Clock:     clk,
+		Workers:   states,
+		Allocator: pol.NewAllocator(),
+		NewAgent:  pol.NewAgent,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wf := engine.NewWorkflow("serve")
+	wf.MustAddTask(engine.TaskSpec{Name: "t", Input: "jobs"})
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan error, 1)
+	c.Start()
+	clk.Go(func() {
+		err := func() error {
+			c.WaitReady()
+			for i := 0; i < b.N; i++ {
+				sess, err := c.Open(fmt.Sprintf("s%d", i), wf)
+				if err != nil {
+					return err
+				}
+				for j := 0; j < jobs; j++ {
+					sess.Submit(&engine.Job{
+						ID:         fmt.Sprintf("s%d-j%d", i, j),
+						Stream:     "jobs",
+						DataKey:    fmt.Sprintf("r%d", j%keys),
+						DataSizeMB: 100,
+					})
+					clk.Sleep(time.Second)
+				}
+				sess.Close()
+				rep := sess.Wait()
+				if rep == nil {
+					return fmt.Errorf("session s%d: no report", i)
+				}
+				if rep.JobsCompleted != jobs {
+					return fmt.Errorf("session s%d completed %d of %d", i, rep.JobsCompleted, jobs)
+				}
+			}
+			return nil
+		}()
+		c.Stop()
+		done <- err
+	})
+	c.Wait()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N*jobs)/elapsed, "serve_jobs_per_sec")
 	}
 }
 

@@ -148,6 +148,32 @@ func (b *Broker) Register(name string, link time.Duration) *Endpoint {
 	return ep
 }
 
+// Deregister removes the named endpoint from the broker: its topic
+// subscriptions are dropped and the name is freed for a future Register
+// — the membership counterpart of a worker leaving a long-lived
+// cluster. Deliveries already scheduled for its inbox land there
+// harmlessly (the caller typically closes the inbox); subsequent sends
+// to the name are dropped like sends to any unknown endpoint.
+func (b *Broker) Deregister(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.endpoints[name]
+	if !ok {
+		return
+	}
+	delete(b.endpoints, name)
+	for topic, subs := range b.topics {
+		i := sort.Search(len(subs), func(i int) bool { return subs[i].name >= name })
+		if i >= len(subs) || subs[i].name != name {
+			continue
+		}
+		copy(subs[i:], subs[i+1:])
+		subs[len(subs)-1] = nil
+		b.topics[topic] = subs[:len(subs)-1]
+	}
+	ep.down = true
+}
+
 // Lookup returns the endpoint registered under name, if any.
 func (b *Broker) Lookup(name string) (*Endpoint, bool) {
 	b.mu.Lock()
@@ -415,6 +441,10 @@ func (ep *Endpoint) Unsubscribe(topic string) { ep.broker.unsubscribe(ep, topic)
 // Disconnect simulates the endpoint dropping off the network: subsequent
 // sends to or from it are dropped until Reconnect.
 func (ep *Endpoint) Disconnect() { ep.broker.setDown(ep, true) }
+
+// Deregister removes the endpoint from the broker for good, freeing its
+// name for re-registration. See Broker.Deregister.
+func (ep *Endpoint) Deregister() { ep.broker.Deregister(ep.name) }
 
 // Reconnect reverses Disconnect.
 func (ep *Endpoint) Reconnect() { ep.broker.setDown(ep, false) }

@@ -301,6 +301,17 @@ func (b *TopKAllocator) WorkerLost(ctx engine.AllocCtx, worker string, inflight 
 	}
 }
 
+// WorkerJoined implements engine.Allocator: a mid-run joiner starts
+// with an empty cache and an empty queue, so any index state left under
+// its name by an earlier tenure (a drained worker rejoining) is scrubbed
+// and its load sketch is seeded at zero, making the newcomer immediately
+// attractive to SampleLight's light-load probe.
+func (b *TopKAllocator) WorkerJoined(ctx engine.AllocCtx, worker string) {
+	b.init()
+	b.index.RemoveWorker(worker)
+	b.index.SetLoad(worker, 0)
+}
+
 // TopKAgent is the worker side of the scalable bidding policy: the
 // plain bidding agent plus cache-eviction notices, which keep the
 // master's location index from believing in holders long gone.

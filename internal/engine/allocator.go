@@ -33,8 +33,17 @@ type Allocator interface {
 	JobFinished(ctx AllocCtx, jobID, worker string)
 	// WorkerLost is called when a worker is declared dead; inflight
 	// holds the jobs that were allocated to it and now need rescue. The
-	// master re-issues JobReady for each after this call returns.
+	// master re-issues JobReady for each after this call returns. It is
+	// also called with a nil inflight when a worker begins a graceful
+	// drain: the worker is gone from the live set and its open bids must
+	// be scrubbed, but its queued jobs will still complete.
 	WorkerLost(ctx AllocCtx, worker string, inflight []*Job)
+	// WorkerJoined is called when a worker registers after the fleet has
+	// already formed — mid-run elasticity — before it can win any work.
+	// Policies that keep per-worker state (load sketches, location
+	// indexes) seed or reset the newcomer's entries here. It never fires
+	// during the initial registration wave of a batch run.
+	WorkerJoined(ctx AllocCtx, worker string)
 	// CacheEvicted delivers a worker's cache-eviction notice (sent only
 	// when the worker's agent enabled them), for policies that maintain
 	// a data-location index.
@@ -101,6 +110,9 @@ func (NopAllocator) JobFinished(AllocCtx, string, string) {}
 
 // WorkerLost implements Allocator with a no-op.
 func (NopAllocator) WorkerLost(AllocCtx, string, []*Job) {}
+
+// WorkerJoined implements Allocator with a no-op.
+func (NopAllocator) WorkerJoined(AllocCtx, string) {}
 
 // CacheEvicted implements Allocator with a no-op.
 func (NopAllocator) CacheEvicted(AllocCtx, string, []string) {}

@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/gitsim"
+	"crossflow/internal/vclock"
+)
+
+// ClusterConfig describes a long-lived cluster runtime. Compared to
+// Config it carries no workflow and no arrival stream: work enters
+// through sessions (Open/Submit) after Start, and the fleet itself is
+// elastic (Join/Drain/Leave).
+type ClusterConfig struct {
+	// Clock is the time source; nil defaults to a fresh simulated clock.
+	Clock vclock.Clock
+	// Workers is the initial fleet; the master waits for all of them to
+	// register before sessions start flowing. May be empty — an all-join
+	// cluster forms entirely at runtime.
+	Workers []*WorkerState
+	// Allocator is the master-side policy.
+	Allocator Allocator
+	// NewAgent builds the matching worker-side policy per node.
+	NewAgent func(st *WorkerState) Agent
+	// Hub optionally provides the synthetic GitHub to task bodies.
+	Hub *gitsim.Hub
+	// MasterLink is the master's one-way broker latency.
+	MasterLink time.Duration
+	// Seed seeds the master's random source; Rand overrides it.
+	Seed int64
+	Rand *rand.Rand
+	// DelayFunc / DropFunc install broker delivery models (see Config).
+	DelayFunc broker.DelayFunc
+	DropFunc  broker.DropFunc
+	// Tracer, when non-nil, receives every allocation event.
+	Tracer Tracer
+}
+
+// batchSpec is the extra state of a batch (one-shot) run on top of the
+// cluster runtime: the single workflow and its pre-scheduled arrivals.
+// Run passes one; NewCluster passes nil.
+type batchSpec struct {
+	wf       *Workflow
+	arrivals []Arrival
+}
+
+// clusterMember is one worker's runtime record: its persistent state,
+// the live node, and the counter snapshot taken when it entered the
+// cluster (so per-run report deltas survive state reuse).
+type clusterMember struct {
+	st     *WorkerState
+	w      *Worker
+	before workerSnapshot
+}
+
+// Cluster is the long-lived elastic runtime: one master, one broker,
+// and a fleet of workers that can grow (Join) and shrink (Drain, Leave)
+// while workflow sessions stream through it. The one-shot Run is a thin
+// wrapper over the same machinery with a single implicit session.
+//
+// Lifecycle: NewCluster → Start → Open/Submit/Join/Drain … → Stop →
+// Wait. On a simulated clock, everything that blocks (Drain,
+// MasterSession.Wait) must run on a clock-tracked goroutine (clk.Go).
+type Cluster struct {
+	clk    vclock.Clock
+	bus    *broker.Broker
+	master *Master
+	cfg    ClusterConfig
+	// defaultWF is the workflow joiners inherit when a job carries no
+	// session tag; nil outside batch mode.
+	defaultWF *Workflow
+
+	mu      sync.Mutex
+	wfs     map[string]*Workflow
+	members map[string]*clusterMember
+	order   []string
+	started bool
+}
+
+// newCluster assembles the shared substrate of both modes. The
+// construction order (clock, rng, broker, master endpoint, master,
+// tracer, then one Register+newWorker per worker in input order) is
+// load-bearing: mailbox and endpoint creation order is part of the
+// deterministic replay surface, so batch runs built here are
+// bit-compatible with the historical Run.
+func newCluster(cfg ClusterConfig, batch *batchSpec) (*Cluster, error) {
+	if cfg.Allocator == nil {
+		return nil, errors.New("engine: no allocator configured")
+	}
+	if cfg.NewAgent == nil {
+		return nil, errors.New("engine: no agent factory configured")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = vclock.NewSim()
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	bus := broker.New(clk)
+	if cfg.DelayFunc != nil {
+		bus.SetDelayFunc(cfg.DelayFunc)
+	}
+	if cfg.DropFunc != nil {
+		bus.SetDropFunc(cfg.DropFunc)
+	}
+	masterEp := bus.Register(MasterName, cfg.MasterLink)
+	var master *Master
+	var defaultWF *Workflow
+	if batch != nil {
+		master = newMaster(clk, masterEp, cfg.Allocator, batch.wf,
+			batch.arrivals, len(cfg.Workers), rng)
+		defaultWF = batch.wf
+	} else {
+		master = NewClusterMaster(clk, masterEp, cfg.Allocator, len(cfg.Workers), rng)
+	}
+	master.tracer = cfg.Tracer
+
+	c := &Cluster{
+		clk:       clk,
+		bus:       bus,
+		master:    master,
+		cfg:       cfg,
+		defaultWF: defaultWF,
+		wfs:       make(map[string]*Workflow),
+		members:   make(map[string]*clusterMember, len(cfg.Workers)),
+	}
+	for _, st := range cfg.Workers {
+		if st == nil {
+			return nil, errors.New("engine: nil worker state")
+		}
+		ep := bus.Register(st.Spec.Name, st.Spec.Link)
+		w := newWorker(clk, ep, defaultWF, st, cfg.Hub, cfg.NewAgent(st))
+		w.SetWorkflowResolver(c.workflowFor)
+		c.members[w.name] = &clusterMember{st: st, w: w, before: snapshotWorker(st)}
+		c.order = append(c.order, w.name)
+	}
+	return c, nil
+}
+
+// NewCluster builds a long-lived cluster runtime. Nothing runs until
+// Start.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	return newCluster(cfg, nil)
+}
+
+// Clock returns the cluster's time source.
+func (c *Cluster) Clock() vclock.Clock { return c.clk }
+
+// Master returns the cluster's master, for callers that need direct
+// access (readiness waits, low-level injection in tests).
+func (c *Cluster) Master() *Master { return c.master }
+
+// Start launches the master and the initial fleet. All start-up happens
+// inside one tracked goroutine so a simulated clock never observes the
+// half-built system as idle (see Run). Start returns immediately.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	initial := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	c.clk.Go(func() {
+		c.clk.Go(c.master.run)
+		for _, name := range initial {
+			c.mu.Lock()
+			mem := c.members[name]
+			c.mu.Unlock()
+			mem.w.start()
+		}
+	})
+}
+
+// WaitReady blocks until the initial fleet has registered (cluster mode
+// only; see Master.WaitReady). Call from a clock-tracked goroutine on a
+// simulated clock.
+func (c *Cluster) WaitReady() { c.master.WaitReady() }
+
+// Open starts a streaming workflow session: Submit jobs on the returned
+// feed, Close it, then Wait for the session's report. Sessions on the
+// same cluster share the fleet without cross-talk — every job is tagged
+// with its session, and workers resolve the right workflow per job.
+func (c *Cluster) Open(id string, wf *Workflow) (*MasterSession, error) {
+	if wf == nil {
+		return nil, errors.New("engine: no workflow configured")
+	}
+	c.mu.Lock()
+	if _, dup := c.wfs[id]; dup || id == "" {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("engine: invalid or duplicate session id %q", id)
+	}
+	c.wfs[id] = wf
+	c.mu.Unlock()
+	return c.master.OpenSession(id, wf), nil
+}
+
+// Join adds a worker to the running fleet. The node registers through
+// the ordinary MsgRegister path, the allocator is told via WorkerJoined,
+// and the joiner competes for contests from then on. On a simulated
+// clock, call from a clock-tracked goroutine or timer callback. The
+// name must be free (a drained worker's name may be reused).
+func (c *Cluster) Join(st *WorkerState) (*Worker, error) {
+	if st == nil {
+		return nil, errors.New("engine: nil worker state")
+	}
+	c.mu.Lock()
+	if _, dup := c.members[st.Spec.Name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("engine: join duplicates worker %q", st.Spec.Name)
+	}
+	c.mu.Unlock()
+	ep := c.bus.Register(st.Spec.Name, st.Spec.Link)
+	w := newWorker(c.clk, ep, c.defaultWF, st, c.cfg.Hub, c.cfg.NewAgent(st))
+	w.SetWorkflowResolver(c.workflowFor)
+	c.mu.Lock()
+	c.members[w.name] = &clusterMember{st: st, w: w, before: snapshotWorker(st)}
+	c.order = append(c.order, w.name)
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		w.start()
+	}
+	return w, nil
+}
+
+// Drain gracefully removes a worker: the master stops allocating to it
+// immediately, the worker finishes its queued jobs (completions reach
+// the master before its goodbye on the same FIFO route), then leaves
+// and frees its name. Drain blocks until the departure is settled; on a
+// simulated clock call it from a clock-tracked goroutine.
+func (c *Cluster) Drain(name string) {
+	ack := c.master.Drain(name)
+	ack.Recv()
+	c.forget(name)
+}
+
+// Leave removes a worker immediately, without waiting for its queue:
+// the node drops off the broker and the master redispatches its
+// unfinished jobs — operationally a controlled crash.
+func (c *Cluster) Leave(name string) {
+	c.mu.Lock()
+	mem := c.members[name]
+	c.mu.Unlock()
+	if mem == nil {
+		return
+	}
+	mem.w.kill()
+	c.master.Inject(MsgWorkerDead{Worker: name})
+	c.forget(name)
+}
+
+// forget drops a departed member so its name can be reused by a future
+// joiner. The WorkerState (and its counters) stays with the caller.
+func (c *Cluster) forget(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.members[name]; !ok {
+		return
+	}
+	delete(c.members, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Stop shuts the cluster down: the master publishes MsgStop to the
+// fleet, flushes a final report to every session still waiting, and
+// exits its loop. Follow with Wait to join all goroutines.
+func (c *Cluster) Stop() { c.master.Shutdown() }
+
+// Wait blocks until every tracked goroutine has finished — after Stop,
+// that is full quiescence. On a simulated clock this is also what
+// advances virtual time.
+func (c *Cluster) Wait() { c.clk.Wait() }
+
+// workflowFor is the session→workflow resolver shared by every worker
+// the cluster builds.
+func (c *Cluster) workflowFor(session string) *Workflow {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wfs[session]
+}
+
+// worker returns a member's live node, nil if unknown or departed.
+func (c *Cluster) worker(name string) *Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mem := c.members[name]; mem != nil {
+		return mem.w
+	}
+	return nil
+}

@@ -46,3 +46,24 @@ type CacheShrink struct {
 	At         time.Duration
 	CapacityMB float64
 }
+
+// Join schedules a worker entering the fleet mid-run: At after the run
+// starts the node registers with the master and immediately competes
+// for work through the ordinary registration path. Its name must not
+// collide with any configured worker or earlier joiner.
+type Join struct {
+	// State is the joiner's persistent state (cache, link, cost model).
+	State *WorkerState
+	// At is the join time, relative to the run's start.
+	At time.Duration
+}
+
+// Drain schedules a graceful departure: At after the run starts the
+// master stops allocating to the worker, the worker finishes every job
+// already queued (reporting each completion), then leaves the fleet and
+// frees its endpoint name. The elastic counterpart of Kill — scaling
+// down without losing work.
+type Drain struct {
+	Worker string
+	At     time.Duration
+}

@@ -80,6 +80,12 @@ type Job struct {
 	// data-bound (e.g. a searcher streaming API results) declare it
 	// here so bids stay honest.
 	CostHint time.Duration
+	// Session names the workflow session the job belongs to on a
+	// long-lived cluster (see Cluster). Empty on batch runs, where a
+	// single implicit session owns every job. The master stamps it on
+	// injection and workers use it to pick the right workflow when
+	// several share one fleet.
+	Session string
 }
 
 // computeMB returns the effective processing volume.
@@ -106,6 +112,10 @@ type JobRecord struct {
 	Queued   time.Time
 	Started  time.Time
 	Finished time.Time
+
+	// sess is the workflow session the job belongs to; the master uses
+	// it to route completions and counters on multi-workflow clusters.
+	sess *session
 }
 
 // Arrival schedules one job's injection into the workflow, At after the

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"time"
 
@@ -14,67 +15,84 @@ import (
 // allocation through its Allocator, tracks every job's status and
 // timestamps (the paper's master record), and detects workflow
 // completion. It runs as a single actor goroutine over its broker inbox.
+//
+// A master runs in one of two modes. Batch mode (newMaster/NewMaster)
+// owns a single implicit session whose arrivals are known up front; the
+// actor loop exits when that session completes. Cluster mode
+// (NewClusterMaster) has no built-in workflow: sessions are opened and
+// fed explicitly, workers join and leave while the loop runs, and the
+// loop exits only on Shutdown. All per-workflow state lives in session
+// values either way — batch mode is just the one-session special case.
 type Master struct {
 	clk             vclock.Clock
 	ep              Port
 	alloc           Allocator
-	wf              *Workflow
 	arrivals        []Arrival
 	expectedWorkers int
 	rng             *rand.Rand
 	tracer          Tracer
 
-	records      map[string]*JobRecord
-	order        []string
-	workers      []string
-	workerSet    map[string]bool
-	outstanding  int
-	arrivalsLeft int
-	started      bool
-	startTime    time.Time
-	endTime      time.Time
-	results      []any
-	nextID       int
+	// autoStop distinguishes batch mode (exit when the default session
+	// completes) from cluster mode (run until Shutdown).
+	autoStop bool
+	// def is the batch session; in cluster mode it is a sink for events
+	// about unknown jobs and is never settled.
+	def *session
+	// sessions maps open session IDs; sessionList keeps deterministic
+	// insertion order for shutdown flushes.
+	sessions    map[string]*session
+	sessionList []*session
+	// cur is the session context of the event being handled, so
+	// counters raised from inside allocator callbacks (CountFallback)
+	// land on the right session.
+	cur *session
+	// ready flips once the initial expectedWorkers quorum registered;
+	// registrations after that are mid-run joins.
+	ready    bool
+	readyAck vclock.Mailbox
+	// drains holds the acks to deliver when each draining worker's
+	// MsgLeave arrives.
+	drains map[string][]vclock.Mailbox
 
-	aborted      bool
-	finished     bool
-	completed    int
-	offers       int
-	rejections   int
-	contests     int
-	contestMsgs  int
-	bids         int
-	fallbacks    int
-	failures     int
-	redispatched int
-	allocLatency time.Duration
-	allocCount   int
+	records   map[string]*JobRecord
+	order     []string
+	workers   []string
+	workerSet map[string]bool
+	nextID    int
+
+	aborted  bool
+	finished bool
 }
 
-// newMaster wires a master; the cluster runner starts it with Go. The
-// caller owns rng's seeding — the master never touches the global
-// math/rand generator, so identically-seeded runs replay identically.
-// A nil rng falls back to a seed-0 source rather than crashing.
+// newMaster wires a batch-mode master; the cluster runner starts it with
+// Go. The caller owns rng's seeding — the master never touches the
+// global math/rand generator, so identically-seeded runs replay
+// identically. A nil rng falls back to a seed-0 source rather than
+// crashing.
 func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 	arrivals []Arrival, expectedWorkers int, rng *rand.Rand) *Master {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(0))
 	}
-	return &Master{
+	m := &Master{
 		clk:             clk,
 		ep:              ep,
 		alloc:           alloc,
-		wf:              wf,
 		arrivals:        arrivals,
 		expectedWorkers: expectedWorkers,
 		rng:             rng,
+		autoStop:        true,
+		def:             &session{wf: wf, arrivalsLeft: len(arrivals)},
+		sessions:        make(map[string]*session),
+		drains:          make(map[string][]vclock.Mailbox),
 		// Sized for the input stream; tasks that emit downstream jobs
 		// grow them past this, but the common case never rehashes.
-		records:      make(map[string]*JobRecord, len(arrivals)),
-		order:        make([]string, 0, len(arrivals)),
-		workerSet:    make(map[string]bool),
-		arrivalsLeft: len(arrivals),
+		records:   make(map[string]*JobRecord, len(arrivals)),
+		order:     make([]string, 0, len(arrivals)),
+		workerSet: make(map[string]bool),
 	}
+	m.cur = m.def
+	return m
 }
 
 // NewMaster wires a master over an arbitrary Port — the entry point for
@@ -87,33 +105,109 @@ func NewMaster(clk vclock.Clock, port Port, alloc Allocator, wf *Workflow,
 	return newMaster(clk, port, alloc, wf, arrivals, expectedWorkers, rng)
 }
 
+// NewClusterMaster wires a long-lived master with no built-in workflow:
+// open sessions with OpenSession, feed them jobs, and stop the loop with
+// Shutdown. expectedWorkers is the initial quorum to wait for before
+// sessions start flowing (zero means "ready immediately"); workers
+// registering after the quorum are mid-run joins and are announced to
+// the allocator via WorkerJoined.
+func NewClusterMaster(clk vclock.Clock, port Port, alloc Allocator,
+	expectedWorkers int, rng *rand.Rand) *Master {
+	m := newMaster(clk, port, alloc, nil, nil, expectedWorkers, rng)
+	m.autoStop = false
+	m.ready = expectedWorkers == 0
+	m.readyAck = clk.NewMailbox("master:ready")
+	if m.ready {
+		m.readyAck.Send(struct{}{})
+	}
+	return m
+}
+
+// WaitReady blocks until the initial worker quorum has registered. On a
+// simulated clock it must be called from a clock-tracked goroutine. It
+// is single-shot: one caller owns the readiness signal.
+func (m *Master) WaitReady() {
+	if m.readyAck != nil {
+		m.readyAck.Recv()
+	}
+}
+
+// Shutdown stops a cluster-mode master: the loop publishes MsgStop to
+// the fleet, flushes a report to every session still waiting, and exits.
+// Safe to call from any goroutine.
+func (m *Master) Shutdown() { m.Inject(msgShutdown{}) }
+
+// Drain asks a worker to finish its queued jobs and leave the fleet. The
+// worker is removed from the live set immediately — it wins no further
+// contests — and the returned mailbox receives one value once its
+// MsgLeave has been processed. Safe to call from any goroutine; on a
+// simulated clock, receive on a clock-tracked goroutine.
+func (m *Master) Drain(worker string) vclock.Mailbox {
+	ack := m.clk.NewMailbox("drain:" + worker)
+	m.Inject(msgDrainStart{worker: worker, ack: ack})
+	return ack
+}
+
 // Run executes the master actor loop until the workflow completes; it
 // must run on a clock-tracked goroutine (clk.Go).
 func (m *Master) Run() { m.run() }
 
 // Report builds the master's half of a run report (timings, statuses,
-// scheduling counters). Worker-side cache and data-load counters are
-// zero; distributed deployments collect those on the worker processes.
+// scheduling counters) for the batch session. Worker-side cache and
+// data-load counters are zero; distributed deployments collect those on
+// the worker processes.
 func (m *Master) Report() *Report {
+	s := m.def
 	rep := &Report{
 		Allocator:     m.alloc.Name(),
-		Start:         m.startTime,
-		End:           m.endTime,
-		Makespan:      m.endTime.Sub(m.startTime),
-		JobsCompleted: m.completed,
-		JobsFailed:    m.failures,
-		Redispatched:  m.redispatched,
-		Results:       m.results,
-		Offers:        m.offers,
-		Rejections:    m.rejections,
-		Contests:      m.contests,
-		ContestMsgs:   m.contestMsgs,
-		Bids:          m.bids,
-		Fallbacks:     m.fallbacks,
+		Start:         s.startTime,
+		End:           s.endTime,
+		Makespan:      s.endTime.Sub(s.startTime),
+		JobsCompleted: s.completed,
+		JobsFailed:    s.failures,
+		Redispatched:  s.redispatched,
+		Results:       s.results,
+		Offers:        s.offers,
+		Rejections:    s.rejections,
+		Contests:      s.contests,
+		ContestMsgs:   s.contestMsgs,
+		Bids:          s.bids,
+		Fallbacks:     s.fallbacks,
 		Records:       m.records,
 	}
-	if m.allocCount > 0 {
-		rep.MeanAllocLatency = m.allocLatency / time.Duration(m.allocCount)
+	if s.allocCount > 0 {
+		rep.MeanAllocLatency = s.allocLatency / time.Duration(s.allocCount)
+	}
+	return rep
+}
+
+// sessionReport builds a per-session report on a cluster-mode master,
+// with the record map filtered to the session's own jobs.
+func (m *Master) sessionReport(s *session) *Report {
+	rep := &Report{
+		Allocator:     m.alloc.Name(),
+		Start:         s.startTime,
+		End:           s.endTime,
+		Makespan:      s.endTime.Sub(s.startTime),
+		JobsCompleted: s.completed,
+		JobsFailed:    s.failures,
+		Redispatched:  s.redispatched,
+		Results:       s.results,
+		Offers:        s.offers,
+		Rejections:    s.rejections,
+		Contests:      s.contests,
+		ContestMsgs:   s.contestMsgs,
+		Bids:          s.bids,
+		Fallbacks:     s.fallbacks,
+		Records:       make(map[string]*JobRecord),
+	}
+	for _, id := range m.order {
+		if rec := m.records[id]; rec.sess == s {
+			rep.Records[id] = rec
+		}
+	}
+	if s.allocCount > 0 {
+		rep.MeanAllocLatency = s.allocLatency / time.Duration(s.allocCount)
 	}
 	return rep
 }
@@ -146,18 +240,19 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 	case MsgRegister:
 		m.onRegister(msg.Worker)
 	case MsgInject:
-		m.arrivalsLeft--
-		m.inject(msg.Job)
+		m.def.arrivalsLeft--
+		m.inject(m.def, msg.Job)
 	case MsgBid:
 		// An in-flight bid from a worker that has since died must not win
 		// the contest: the assignment would go to a closed endpoint and the
 		// job would be stranded until the next kill of that worker (which
 		// never comes). Found by simtest fuzzing (seed 438).
 		if m.workerSet[msg.Worker] {
-			m.bids++
+			m.sessFor(msg.JobID).bids++
 			m.alloc.BidReceived(m, msg)
 		}
 	case MsgBidWindowExpired:
+		m.sessFor(msg.JobID)
 		m.alloc.BidWindowExpired(m, msg.JobID)
 	case MsgAccept:
 		m.onAccept(msg)
@@ -169,7 +264,7 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 		}
 	case MsgEmit:
 		if msg.Job != nil {
-			m.inject(msg.Job)
+			m.inject(m.sessionByID(msg.Job.Session), msg.Job)
 		}
 	case MsgJobDone:
 		m.onJobDone(msg)
@@ -181,14 +276,102 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 		}
 	case MsgWorkerDead:
 		m.onWorkerDead(msg.Worker)
+	case MsgLeave:
+		m.onLeave(msg.Worker)
+	case msgOpenSession:
+		m.addSession(msg.s)
+	case msgSubmit:
+		m.addSession(msg.s)
+		if !msg.s.finished {
+			m.inject(msg.s, msg.job)
+		}
+	case msgCloseFeed:
+		msg.s.feedOpen = false
+		m.cur = msg.s
+	case msgDrainStart:
+		m.onDrainStart(msg)
+	case msgShutdown:
+		m.finished = true
+		m.def.endTime = m.clk.Now()
+		m.ep.Publish(TopicControl, MsgStop{})
+		m.flushWaiters()
+		return true
 	case msgAbort:
 		m.aborted = true
 		m.finished = true
-		m.endTime = m.clk.Now()
+		m.def.endTime = m.clk.Now()
 		m.ep.Publish(TopicControl, MsgStop{})
+		m.flushWaiters()
 		return true
 	}
 	return m.maybeFinish()
+}
+
+// sessFor resolves a job ID to its session (the batch session for
+// unknown jobs) and records it as the current event's session context.
+func (m *Master) sessFor(jobID string) *session {
+	if rec := m.records[jobID]; rec != nil && rec.sess != nil {
+		m.cur = rec.sess
+	} else {
+		m.cur = m.def
+	}
+	return m.cur
+}
+
+// sessionByID resolves an explicit session name carried on a job (an
+// emitted downstream job names its parent's session); unknown or empty
+// names fall back to the batch session.
+func (m *Master) sessionByID(id string) *session {
+	if id != "" {
+		if s, ok := m.sessions[id]; ok {
+			return s
+		}
+	}
+	return m.def
+}
+
+// addSession registers an explicitly-opened session; idempotent so a
+// feed's first Submit can race its Open harmlessly.
+func (m *Master) addSession(s *session) {
+	if _, ok := m.sessions[s.id]; !ok {
+		m.sessions[s.id] = s
+		m.sessionList = append(m.sessionList, s)
+		s.started = true
+		s.startTime = m.clk.Now()
+	}
+	m.cur = s
+}
+
+// flushWaiters delivers final reports to every open session and pending
+// drain ack so no caller blocks across a shutdown or abort. Iteration
+// orders are deterministic (insertion order; sorted drain names).
+func (m *Master) flushWaiters() {
+	for _, s := range m.sessionList {
+		if s.finished {
+			continue
+		}
+		s.finished = true
+		s.endTime = m.clk.Now()
+		if s.done != nil {
+			s.done.Send(m.sessionReport(s))
+		}
+	}
+	if len(m.drains) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.drains))
+	for w := range m.drains {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		for _, ack := range m.drains[w] {
+			if ack != nil {
+				ack.Send(w)
+			}
+		}
+		delete(m.drains, w)
+	}
 }
 
 func (m *Master) onRegister(worker string) {
@@ -196,47 +379,70 @@ func (m *Master) onRegister(worker string) {
 	if m.workerSet[worker] {
 		return
 	}
+	late := m.ready
 	m.workerSet[worker] = true
 	m.workers = append(m.workers, worker)
-	if m.started || len(m.workers) < m.expectedWorkers {
+	if late {
+		// Mid-run join: the fleet already formed, so announce the
+		// newcomer to the allocator before it can win any work.
+		m.alloc.WorkerJoined(m, worker)
 		return
 	}
-	// All workers present: the workflow starts now.
-	m.started = true
-	m.startTime = m.clk.Now()
-	for _, arr := range m.arrivals {
-		arr := arr
-		m.clk.AfterFunc(arr.At, func() { m.Inject(MsgInject{Job: arr.Job}) })
+	if len(m.workers) < m.expectedWorkers {
+		return
+	}
+	// The initial quorum is present.
+	m.ready = true
+	if m.readyAck != nil {
+		m.readyAck.Send(struct{}{})
+	}
+	if m.autoStop {
+		// Batch mode: the workflow starts now.
+		s := m.def
+		s.started = true
+		s.startTime = m.clk.Now()
+		for _, arr := range m.arrivals {
+			arr := arr
+			m.clk.AfterFunc(arr.At, func() { m.Inject(MsgInject{Job: arr.Job}) })
+		}
 	}
 }
 
-// inject registers a job and hands it to the allocator (or collects it
-// as a result if no task consumes its stream).
-func (m *Master) inject(job *Job) {
+// inject registers a job under session s and hands it to the allocator
+// (or collects it as a session result if no task consumes its stream).
+func (m *Master) inject(s *session, job *Job) {
+	m.cur = s
+	if s.wf == nil {
+		return // a stray job for a session this master does not know
+	}
 	if job.ID == "" {
 		job.ID = formatJobID(m.nextID)
 	}
 	m.nextID++
-	rec := &JobRecord{Job: job, Status: StatusPending, Injected: m.clk.Now()}
+	if s.id != "" {
+		job.Session = s.id
+	}
+	rec := &JobRecord{Job: job, Status: StatusPending, Injected: m.clk.Now(), sess: s}
 	if _, dup := m.records[job.ID]; dup {
 		rec.Job.ID = fmt.Sprintf("%s#%d", job.ID, m.nextID)
 	}
 	m.records[rec.Job.ID] = rec
 	m.order = append(m.order, rec.Job.ID)
 	m.trace(TraceInjected, rec.Job.ID, "")
-	if _, consumed := m.wf.TaskFor(job.Stream); !consumed {
+	if _, consumed := s.wf.TaskFor(job.Stream); !consumed {
 		rec.Status = StatusFinished
 		rec.Finished = m.clk.Now()
 		if job.Payload != nil {
-			m.results = append(m.results, job.Payload)
+			s.results = append(s.results, job.Payload)
 		}
 		return
 	}
-	m.outstanding++
+	s.outstanding++
 	m.alloc.JobReady(m, job)
 }
 
 func (m *Master) onAccept(msg MsgAccept) {
+	s := m.sessFor(msg.JobID)
 	rec := m.records[msg.JobID]
 	if rec == nil || rec.Status != StatusOffered || rec.Worker != msg.Worker {
 		return
@@ -244,13 +450,13 @@ func (m *Master) onAccept(msg MsgAccept) {
 	rec.Status = StatusQueued
 	rec.Queued = m.clk.Now()
 	rec.Started = rec.Queued // Listing 1 line 25: stamped at allocation
-	m.allocLatency += rec.Queued.Sub(rec.Injected)
-	m.allocCount++
+	s.allocLatency += rec.Queued.Sub(rec.Injected)
+	s.allocCount++
 	m.trace(TraceAssigned, msg.JobID, msg.Worker)
 }
 
 func (m *Master) onReject(msg MsgReject) {
-	m.rejections++
+	m.sessFor(msg.JobID).rejections++
 	rec := m.records[msg.JobID]
 	if rec == nil || rec.Status != StatusOffered || rec.Worker != msg.Worker {
 		return
@@ -266,19 +472,20 @@ func (m *Master) onJobDone(msg MsgJobDone) {
 	if rec == nil || rec.Status == StatusFinished || rec.Worker != msg.Worker {
 		return // stale completion from a lost worker
 	}
+	s := m.sessFor(msg.JobID)
 	rec.Status = StatusFinished
 	rec.Finished = m.clk.Now()
-	m.outstanding--
-	m.completed++
+	s.outstanding--
+	s.completed++
 	if msg.Failed {
-		m.failures++
+		s.failures++
 		m.trace(TraceFailed, msg.JobID, msg.Worker)
 	} else {
 		m.trace(TraceFinished, msg.JobID, msg.Worker)
 	}
-	m.results = append(m.results, msg.Results...)
+	s.results = append(s.results, msg.Results...)
 	for _, nj := range msg.NewJobs {
-		m.inject(nj)
+		m.inject(s, nj)
 	}
 	m.alloc.JobFinished(m, msg.JobID, msg.Worker)
 }
@@ -300,27 +507,116 @@ func (m *Master) onWorkerDead(worker string) {
 		if rec.Worker == worker && rec.Status != StatusFinished && rec.Status != StatusPending {
 			rec.Status = StatusPending
 			rec.Worker = ""
+			rec.sess.redispatched++
 			inflight = append(inflight, rec.Job)
 		}
 	}
-	m.redispatched += len(inflight)
 	for _, job := range inflight {
 		m.trace(TraceRedispatch, job.ID, worker)
 	}
 	m.alloc.WorkerLost(m, worker, inflight)
 	for _, job := range inflight {
+		m.sessFor(job.ID)
+		m.alloc.JobReady(m, job)
+	}
+}
+
+// onDrainStart removes the worker from the live set — it wins no
+// further contests, and WorkerLost scrubs its open bids so a stale bid
+// cannot assign it work either — then tells it to finish its queue and
+// leave. Assignments already sent ride the same FIFO broker route as
+// MsgDrain, so they land in the worker's queue before it closes.
+func (m *Master) onDrainStart(msg msgDrainStart) {
+	if !m.workerSet[msg.worker] {
+		// Unknown, dead, or already draining: nothing to wait for unless a
+		// drain is in fact in flight for this name.
+		if msg.ack != nil {
+			if _, pending := m.drains[msg.worker]; pending {
+				m.drains[msg.worker] = append(m.drains[msg.worker], msg.ack)
+			} else {
+				msg.ack.Send(msg.worker)
+			}
+		}
+		return
+	}
+	delete(m.workerSet, msg.worker)
+	for i, w := range m.workers {
+		if w == msg.worker {
+			m.workers = append(m.workers[:i], m.workers[i+1:]...)
+			break
+		}
+	}
+	m.drains[msg.worker] = append(m.drains[msg.worker], msg.ack)
+	m.alloc.WorkerLost(m, msg.worker, nil)
+	m.ep.Send(msg.worker, MsgDrain{})
+}
+
+// onLeave settles a worker's departure. A leave without a preceding
+// drain is a voluntary immediate exit and is handled like a death
+// (queued jobs redispatched); after a drain the queue completed, but any
+// record still attributed to the worker (an assignment that a delay
+// spike reordered past the drain) is rescued so no job is lost.
+func (m *Master) onLeave(worker string) {
+	if m.workerSet[worker] {
+		m.onWorkerDead(worker)
+	} else {
+		m.rescueStranded(worker)
+	}
+	acks, ok := m.drains[worker]
+	if !ok {
+		return
+	}
+	delete(m.drains, worker)
+	for _, ack := range acks {
+		if ack != nil {
+			ack.Send(worker)
+		}
+	}
+}
+
+// rescueStranded redispatches any unfinished record still attributed to
+// a worker that is no longer a member.
+func (m *Master) rescueStranded(worker string) {
+	var inflight []*Job
+	for _, id := range m.order {
+		rec := m.records[id]
+		if rec.Worker == worker && rec.Status != StatusFinished && rec.Status != StatusPending {
+			rec.Status = StatusPending
+			rec.Worker = ""
+			rec.sess.redispatched++
+			inflight = append(inflight, rec.Job)
+		}
+	}
+	for _, job := range inflight {
+		m.trace(TraceRedispatch, job.ID, worker)
+	}
+	for _, job := range inflight {
+		m.sessFor(job.ID)
 		m.alloc.JobReady(m, job)
 	}
 }
 
 func (m *Master) maybeFinish() bool {
-	if !m.started || m.arrivalsLeft > 0 || m.outstanding > 0 {
-		return false
+	if m.autoStop {
+		s := m.def
+		if !s.started || s.arrivalsLeft > 0 || s.outstanding > 0 {
+			return false
+		}
+		m.finished = true
+		s.endTime = m.clk.Now()
+		m.ep.Publish(TopicControl, MsgStop{})
+		return true
 	}
-	m.finished = true
-	m.endTime = m.clk.Now()
-	m.ep.Publish(TopicControl, MsgStop{})
-	return true
+	// Cluster mode: the loop never stops by itself, but the session the
+	// event touched may have just completed.
+	if s := m.cur; s != nil && s != m.def && !s.finished && !s.feedOpen && s.outstanding == 0 {
+		s.finished = true
+		s.endTime = m.clk.Now()
+		if s.done != nil {
+			s.done.Send(m.sessionReport(s))
+		}
+	}
+	return false
 }
 
 // formatJobID renders "job-%04d" without fmt's reflection cost — the
@@ -374,12 +670,13 @@ func (m *Master) Assign(jobID, worker string, est time.Duration) {
 	if rec == nil || rec.Status == StatusFinished || rec.Status == StatusQueued {
 		return
 	}
+	s := m.sessOf(rec)
 	rec.Status = StatusQueued
 	rec.Worker = worker
 	rec.Queued = m.clk.Now()
 	rec.Started = rec.Queued
-	m.allocLatency += rec.Queued.Sub(rec.Injected)
-	m.allocCount++
+	s.allocLatency += rec.Queued.Sub(rec.Injected)
+	s.allocCount++
 	m.trace(TraceAssigned, jobID, worker)
 	m.ep.Send(worker, MsgAssign{Job: rec.Job, EstimatedCost: est})
 }
@@ -392,9 +689,18 @@ func (m *Master) Offer(jobID, worker string) {
 	}
 	rec.Status = StatusOffered
 	rec.Worker = worker
-	m.offers++
+	m.sessOf(rec).offers++
 	m.trace(TraceOffered, jobID, worker)
 	m.ep.Send(worker, MsgOffer{Job: rec.Job})
+}
+
+// sessOf returns a record's owning session, defaulting to the batch
+// session for records predating the session split.
+func (m *Master) sessOf(rec *JobRecord) *session {
+	if rec != nil && rec.sess != nil {
+		return rec.sess
+	}
+	return m.def
 }
 
 // SendNoWork implements AllocCtx.
@@ -408,10 +714,11 @@ func (m *Master) PublishBidRequest(jobID string) int {
 	if rec == nil {
 		return 0
 	}
-	m.contests++
+	s := m.sessOf(rec)
+	s.contests++
 	m.trace(TraceContest, jobID, "")
 	n := m.ep.Publish(TopicBids, MsgBidRequest{Job: rec.Job})
-	m.contestMsgs += n
+	s.contestMsgs += n
 	return n
 }
 
@@ -441,7 +748,8 @@ func (m *Master) PublishBidRequestTo(jobID string, workers []string) int {
 	if len(live) == 0 {
 		return 0
 	}
-	m.contests++
+	s := m.sessOf(rec)
+	s.contests++
 	req := MsgBidRequest{Job: rec.Job}
 	var n int
 	if ms, ok := m.ep.(multiSender); ok {
@@ -453,7 +761,7 @@ func (m *Master) PublishBidRequestTo(jobID string, workers []string) int {
 			}
 		}
 	}
-	m.contestMsgs += n
+	s.contestMsgs += n
 	for _, w := range live {
 		m.trace(TraceContest, jobID, w)
 	}
@@ -474,4 +782,5 @@ func (m *Master) ScheduleTick(token string, d time.Duration) {
 func (m *Master) Rand() *rand.Rand { return m.rng }
 
 // CountFallback lets allocators record an arbitrary (no-bid) assignment.
-func (m *Master) CountFallback() { m.fallbacks++ }
+// It lands on the session of the event being handled.
+func (m *Master) CountFallback() { m.cur.fallbacks++ }

@@ -1,6 +1,10 @@
 package engine
 
-import "time"
+import (
+	"time"
+
+	"crossflow/internal/vclock"
+)
 
 // Topic names used on the broker.
 const (
@@ -151,6 +155,20 @@ type MsgTick struct {
 // MsgStop shuts a worker down after the workflow completes.
 type MsgStop struct{}
 
+// MsgDrain asks a worker to finish the jobs already in its queue, stop
+// taking new work, and leave the cluster. The master removes the worker
+// from the live set before sending it, so nothing new is assigned while
+// the queue empties; broker routes are FIFO, so every assignment sent
+// before the drain is in the queue by the time MsgDrain arrives.
+type MsgDrain struct{}
+
+// MsgLeave is a worker's goodbye: its queue is empty (graceful drain)
+// or abandoned (voluntary leave) and it will not send again. The master
+// redispatches anything still attributed to the worker.
+type MsgLeave struct {
+	Worker string
+}
+
 // MsgWorkerDead is the master's self-message injected by fault-injection
 // hooks when a worker is declared lost.
 type MsgWorkerDead struct {
@@ -162,3 +180,32 @@ type MsgWorkerDead struct {
 // stop signal, and Run reports ErrDeadlineExceeded. It never crosses the
 // broker, so it stays unexported.
 type msgAbort struct{}
+
+// The messages below drive the long-lived cluster runtime. They are
+// handed to the master through Inject by the Cluster API on the same
+// process, never serialized, so they stay unexported.
+
+// msgOpenSession announces a new workflow session to the master loop.
+type msgOpenSession struct{ s *session }
+
+// msgSubmit feeds one job into an open session.
+type msgSubmit struct {
+	s   *session
+	job *Job
+}
+
+// msgCloseFeed marks a session's submission feed closed; the session
+// completes once its outstanding jobs finish.
+type msgCloseFeed struct{ s *session }
+
+// msgDrainStart begins a graceful drain of one worker. ack, when
+// non-nil, receives one value after the worker's MsgLeave is processed.
+type msgDrainStart struct {
+	worker string
+	ack    vclock.Mailbox
+}
+
+// msgShutdown stops a long-lived master: it publishes MsgStop to the
+// fleet, flushes reports to any sessions still waiting, and exits the
+// master loop.
+type msgShutdown struct{}

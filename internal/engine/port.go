@@ -27,3 +27,10 @@ type Port interface {
 type disconnecter interface {
 	Disconnect()
 }
+
+// deregisterer is the optional graceful-leave hook a Port may provide:
+// it removes the node from the substrate entirely, freeing its name for
+// a future joiner. A drained worker prefers it over Disconnect.
+type deregisterer interface {
+	Deregister()
+}

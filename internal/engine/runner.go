@@ -50,6 +50,13 @@ type Config struct {
 	Partitions []Partition
 	// CacheShrinks schedules mid-run worker cache capacity changes.
 	CacheShrinks []CacheShrink
+	// Joins schedules workers entering the fleet mid-run (elastic
+	// scale-up). Joiners run the configured Workflow and appear in the
+	// report's Workers after the configured fleet, in schedule order.
+	Joins []Join
+	// Drains schedules graceful departures (elastic scale-down): the
+	// worker finishes its queued jobs, then leaves without losing work.
+	Drains []Drain
 	// DelayFunc overrides the broker's delivery-delay model (latency
 	// spikes, asymmetric links). Nil keeps the default link-sum model.
 	DelayFunc broker.DelayFunc
@@ -68,7 +75,10 @@ type Config struct {
 	Tracer Tracer
 }
 
-// Run executes one workflow to completion and returns its report.
+// Run executes one workflow to completion and returns its report. It is
+// a batch-mode wrapper over the Cluster runtime: one implicit session
+// whose arrivals are known up front, with the fault plan (including
+// elastic Joins and Drains) scheduled around it.
 func Run(cfg Config) (*Report, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, errors.New("engine: no workers configured")
@@ -82,54 +92,37 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Workflow == nil {
 		return nil, errors.New("engine: no workflow configured")
 	}
-	clk := cfg.Clock
-	if clk == nil {
-		clk = vclock.NewSim()
+	c, err := newCluster(ClusterConfig{
+		Clock:      cfg.Clock,
+		Workers:    cfg.Workers,
+		Allocator:  cfg.Allocator,
+		NewAgent:   cfg.NewAgent,
+		Hub:        cfg.Hub,
+		MasterLink: cfg.MasterLink,
+		Seed:       cfg.Seed,
+		Rand:       cfg.Rand,
+		DelayFunc:  cfg.DelayFunc,
+		DropFunc:   cfg.DropFunc,
+		Tracer:     cfg.Tracer,
+	}, &batchSpec{wf: cfg.Workflow, arrivals: cfg.Arrivals})
+	if err != nil {
+		return nil, err
 	}
-
-	rng := cfg.Rand
-	if rng == nil {
-		rng = rand.New(rand.NewSource(cfg.Seed))
-	}
-	bus := broker.New(clk)
-	if cfg.DelayFunc != nil {
-		bus.SetDelayFunc(cfg.DelayFunc)
-	}
-	if cfg.DropFunc != nil {
-		bus.SetDropFunc(cfg.DropFunc)
-	}
-	masterEp := bus.Register(MasterName, cfg.MasterLink)
-	master := newMaster(clk, masterEp, cfg.Allocator, cfg.Workflow,
-		cfg.Arrivals, len(cfg.Workers), rng)
-	master.tracer = cfg.Tracer
-
-	workers := make([]*Worker, 0, len(cfg.Workers))
-	before := make([]workerSnapshot, 0, len(cfg.Workers))
-	byName := make(map[string]*Worker, len(cfg.Workers))
-	for _, st := range cfg.Workers {
-		if st == nil {
-			return nil, errors.New("engine: nil worker state")
-		}
-		ep := bus.Register(st.Spec.Name, st.Spec.Link)
-		w := newWorker(clk, ep, cfg.Workflow, st, cfg.Hub, cfg.NewAgent(st))
-		workers = append(workers, w)
-		byName[w.name] = w
-		before = append(before, snapshotWorker(st))
-	}
+	clk, master := c.clk, c.master
 
 	for _, k := range cfg.Kills {
-		w, ok := byName[k.Worker]
-		if !ok {
+		w := c.worker(k.Worker)
+		if w == nil {
 			return nil, fmt.Errorf("engine: kill schedules unknown worker %q", k.Worker)
 		}
-		k := k
+		k, w := k, w
 		clk.AfterFunc(k.At, func() {
 			w.kill()
 			master.Inject(MsgWorkerDead{Worker: k.Worker})
 		})
 	}
 	for _, p := range cfg.Partitions {
-		ep, ok := bus.Lookup(p.Node)
+		ep, ok := c.bus.Lookup(p.Node)
 		if !ok {
 			return nil, fmt.Errorf("engine: partition schedules unknown node %q", p.Node)
 		}
@@ -140,13 +133,65 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	for _, cs := range cfg.CacheShrinks {
-		w, ok := byName[cs.Worker]
-		if !ok {
+		w := c.worker(cs.Worker)
+		if w == nil {
 			return nil, fmt.Errorf("engine: cache shrink schedules unknown worker %q", cs.Worker)
 		}
-		cs := cs
+		cs, w := cs, w
 		clk.AfterFunc(cs.At, func() { w.cache.SetCapacity(cs.CapacityMB) })
 	}
+
+	// Elastic fleet changes. Joiners are validated up front (fresh,
+	// non-colliding names) but enter through Cluster.Join at fire time —
+	// the same registration path a live deployment's newcomer takes.
+	names := make(map[string]bool, len(cfg.Workers)+len(cfg.Joins))
+	for _, st := range cfg.Workers {
+		names[st.Spec.Name] = true
+	}
+	type joinRuntime struct {
+		st     *WorkerState
+		before workerSnapshot
+		w      *Worker // nil until the join fires (or never, past deadline)
+	}
+	joiners := make([]*joinRuntime, 0, len(cfg.Joins))
+	for _, j := range cfg.Joins {
+		if j.State == nil {
+			return nil, errors.New("engine: nil worker state")
+		}
+		name := j.State.Spec.Name
+		if names[name] {
+			return nil, fmt.Errorf("engine: join duplicates worker %q", name)
+		}
+		names[name] = true
+		jr := &joinRuntime{st: j.State, before: snapshotWorker(j.State)}
+		joiners = append(joiners, jr)
+		if cfg.Deadline > 0 && j.At >= cfg.Deadline {
+			continue // would join an already-aborted run
+		}
+		j, jr := j, jr
+		clk.AfterFunc(j.At, func() {
+			w, err := c.Join(j.State)
+			if err != nil {
+				return
+			}
+			jr.w = w
+			if cfg.Deadline > 0 {
+				// Fires at the shared deadline instant, after the master's
+				// abort (whose timer was scheduled first).
+				clk.AfterFunc(cfg.Deadline-j.At, w.kill)
+			}
+		})
+	}
+	for _, d := range cfg.Drains {
+		if !names[d.Worker] {
+			return nil, fmt.Errorf("engine: drain schedules unknown worker %q", d.Worker)
+		}
+		d := d
+		clk.AfterFunc(d.At, func() {
+			master.Inject(msgDrainStart{worker: d.Worker, ack: nil})
+		})
+	}
+
 	if cfg.Deadline > 0 {
 		// The master aborts first (its timer was scheduled first, so it
 		// fires first at the shared deadline instant), then every worker
@@ -155,8 +200,8 @@ func Run(cfg Config) (*Report, error) {
 		// stop signal was lost would heartbeat forever and the simulation
 		// would never go idle.
 		clk.AfterFunc(cfg.Deadline, func() { master.Inject(msgAbort{}) })
-		for _, w := range workers {
-			w := w
+		for _, st := range cfg.Workers {
+			w := c.worker(st.Spec.Name)
 			clk.AfterFunc(cfg.Deadline, w.kill)
 		}
 	}
@@ -173,12 +218,7 @@ func Run(cfg Config) (*Report, error) {
 	// clock counts it as runnable, so it can never observe a half-built
 	// system as idle and misdiagnose a deadlock while the (untracked)
 	// caller is still wiring nodes up.
-	clk.Go(func() {
-		clk.Go(master.run)
-		for _, w := range workers {
-			w.start()
-		}
-	})
+	c.Start()
 	clk.Wait()
 
 	// A deadlock after the master finished (a worker's stop signal lost
@@ -190,12 +230,14 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	rep := master.Report()
-	for i, st := range cfg.Workers {
-		wr := diffWorker(st, before[i])
-		wr.JobsDone = workers[i].JobsDone()
-		wr.BusyTime = workers[i].BusyTime()
-		if rep.Makespan > 0 {
-			wr.Utilization = float64(wr.BusyTime) / float64(rep.Makespan)
+	addWorker := func(st *WorkerState, before workerSnapshot, w *Worker) {
+		wr := diffWorker(st, before)
+		if w != nil {
+			wr.JobsDone = w.JobsDone()
+			wr.BusyTime = w.BusyTime()
+			if rep.Makespan > 0 {
+				wr.Utilization = float64(wr.BusyTime) / float64(rep.Makespan)
+			}
 		}
 		rep.Workers = append(rep.Workers, wr)
 		rep.CacheHits += wr.CacheHits
@@ -203,6 +245,12 @@ func Run(cfg Config) (*Report, error) {
 		rep.Evictions += wr.Evictions
 		rep.DataLoadMB += wr.DataLoadMB
 		rep.Downloads += wr.Downloads
+	}
+	for _, st := range cfg.Workers {
+		addWorker(st, c.members[st.Spec.Name].before, c.members[st.Spec.Name].w)
+	}
+	for _, jr := range joiners {
+		addWorker(jr.st, jr.before, jr.w)
 	}
 	if master.Aborted() {
 		return rep, fmt.Errorf("%w (%v of simulated time, %d/%d jobs completed)",

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"time"
+
+	"crossflow/internal/vclock"
+)
+
+// session is one workflow's state on a master: its submission feed,
+// outstanding-work accounting, results, and scheduling counters. Batch
+// runs own exactly one implicit session (id ""); a long-lived cluster
+// master multiplexes many, keyed by the Session field jobs carry. All
+// fields except the done mailbox are owned by the master's actor
+// goroutine.
+type session struct {
+	// id names the session; empty for the batch session. Jobs injected
+	// under a named session are stamped with it so workers can resolve
+	// the right workflow.
+	id string
+	// wf consumes the session's streams.
+	wf *Workflow
+	// arrivalsLeft counts scheduled batch arrivals not yet injected;
+	// cluster sessions use feedOpen instead.
+	arrivalsLeft int
+	// feedOpen reports that the session may still receive submissions.
+	feedOpen bool
+	// outstanding counts injected jobs that have not finished.
+	outstanding int
+
+	started   bool
+	finished  bool
+	startTime time.Time
+	endTime   time.Time
+
+	results      []any
+	completed    int
+	failures     int
+	redispatched int
+	offers       int
+	rejections   int
+	contests     int
+	contestMsgs  int
+	bids         int
+	fallbacks    int
+	allocLatency time.Duration
+	allocCount   int
+
+	// done receives the session's *Report exactly once, when the feed is
+	// closed and the last outstanding job finishes (or the master shuts
+	// down). Nil for the batch session, whose report is pulled by Run.
+	done vclock.Mailbox
+}
+
+// MasterSession is one workflow's streaming submission feed on a
+// long-lived master: Submit jobs while the feed is open, Close it, then
+// Wait for the per-session report. Feeds on the same master share the
+// fleet without cross-talk — every job is stamped with its session and
+// routed back to it on completion.
+type MasterSession struct {
+	m *Master
+	s *session
+}
+
+// OpenSession opens a streaming workflow session on a cluster-mode
+// master. id must be unique among open sessions; wf consumes the jobs.
+// Safe to call from any goroutine.
+func (m *Master) OpenSession(id string, wf *Workflow) *MasterSession {
+	s := &session{id: id, wf: wf, feedOpen: true, done: m.clk.NewMailbox("session:" + id)}
+	m.Inject(msgOpenSession{s: s})
+	return &MasterSession{m: m, s: s}
+}
+
+// ID returns the session's name.
+func (ms *MasterSession) ID() string { return ms.s.id }
+
+// Submit feeds one job into the session. Jobs submitted after Close (or
+// after the master shut down) are dropped.
+func (ms *MasterSession) Submit(job *Job) {
+	ms.m.Inject(msgSubmit{s: ms.s, job: job})
+}
+
+// Close marks the feed complete; the session's report is delivered once
+// its outstanding jobs finish.
+func (ms *MasterSession) Close() {
+	ms.m.Inject(msgCloseFeed{s: ms.s})
+}
+
+// Wait blocks until the session completes and returns its report. On a
+// simulated clock it must be called from a clock-tracked goroutine.
+func (ms *MasterSession) Wait() *Report {
+	v, ok := ms.s.done.Recv()
+	if !ok {
+		return nil
+	}
+	rep, _ := v.(*Report)
+	return rep
+}

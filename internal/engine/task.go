@@ -97,6 +97,10 @@ func (c *TaskContext) Process(sizeMB float64) {
 // they are discovered instead of batching them into their return value;
 // each emitted job enters allocation right away.
 func (c *TaskContext) Emit(job *Job) {
+	if job.Session == "" {
+		// Downstream jobs stay in their parent's workflow session.
+		job.Session = c.job.Session
+	}
 	c.worker.ep.Send(MasterName, MsgEmit{Job: job, Worker: c.worker.name})
 }
 

@@ -53,6 +53,10 @@ type Worker struct {
 
 	execQ vclock.Mailbox // *Job, FIFO local queue
 
+	// wfResolve, when set, maps a job's Session to its workflow for
+	// multi-workflow fleets; jobs it cannot resolve run under wf.
+	wfResolve func(session string) *Workflow
+
 	mu           sync.Mutex
 	queuedCosts  map[string]time.Duration
 	queuedTotal  time.Duration  // running sum of queuedCosts
@@ -64,6 +68,7 @@ type Worker struct {
 	busy         time.Duration
 	killed       bool
 	stopped      bool
+	draining     bool
 	registered   bool
 	evictNotify  bool
 }
@@ -168,6 +173,20 @@ func NewWorker(clk vclock.Clock, port Port, wf *Workflow, st *WorkerState,
 	return newWorker(clk, port, wf, st, hub, agent)
 }
 
+// SetWorkflowResolver installs a session→workflow lookup for fleets
+// that host several workflows at once (see Cluster). Set it before
+// Start. Jobs whose Session the resolver knows run under the returned
+// workflow; all others fall back to the worker's default workflow.
+func (w *Worker) SetWorkflowResolver(f func(session string) *Workflow) { w.wfResolve = f }
+
+// Registered reports whether the master has acknowledged this worker's
+// registration — useful when orchestrating mid-run joins.
+func (w *Worker) Registered() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.registered
+}
+
 // Start registers with the master and launches the worker's goroutines.
 // It returns immediately; the goroutines run until a stop message
 // arrives or the port's inbox closes.
@@ -230,11 +249,51 @@ func (w *Worker) commsLoop() {
 			w.agent.OnBidRequest(w, msg.Job)
 		case MsgNoWork:
 			w.agent.OnNoWork(w, msg.Backoff)
+		case MsgDrain:
+			w.beginDrain()
 		case MsgStop:
 			w.shutdown()
 			return
 		}
 	}
+}
+
+// drainSentinel marks the end of a draining worker's queue: everything
+// enqueued before it still executes, then the worker says goodbye.
+type drainSentinel struct{}
+
+// beginDrain starts a graceful exit: the worker keeps executing (and
+// even accepting assignments that were already in flight), but a
+// sentinel in the exec queue marks where the drain was requested. When
+// the executor reaches it, the queue is empty and the worker leaves.
+func (w *Worker) beginDrain() {
+	w.mu.Lock()
+	if w.draining || w.killed || w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.draining = true
+	w.mu.Unlock()
+	w.execQ.Send(drainSentinel{})
+}
+
+// finishDrain runs on the executor goroutine when the drain sentinel
+// surfaces: every job queued before the drain has completed (and its
+// MsgJobDone precedes the MsgLeave on the same FIFO route, so the master
+// sees the completions first). The worker deregisters so its name is
+// free for a future joiner.
+func (w *Worker) finishDrain() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+	w.ep.Send(MasterName, MsgLeave{Worker: w.name})
+	if d, ok := w.ep.(deregisterer); ok {
+		d.Deregister()
+	} else if d, ok := w.ep.(disconnecter); ok {
+		d.Disconnect()
+	}
+	w.ep.Inbox().Close()
+	w.execQ.Close()
 }
 
 // shutdown marks the worker stopped and closes the executor queue.
@@ -251,9 +310,25 @@ func (w *Worker) execLoop() {
 		if !ok {
 			return
 		}
+		if _, drain := v.(drainSentinel); drain {
+			w.finishDrain()
+			return
+		}
 		job := v.(*Job)
 		w.execute(job)
 	}
+}
+
+// workflowFor resolves the workflow a job runs under: the session
+// resolver when the job names a session it knows, the worker's default
+// workflow otherwise.
+func (w *Worker) workflowFor(job *Job) *Workflow {
+	if job.Session != "" && w.wfResolve != nil {
+		if wf := w.wfResolve(job.Session); wf != nil {
+			return wf
+		}
+	}
+	return w.wf
 }
 
 func (w *Worker) execute(job *Job) {
@@ -265,7 +340,11 @@ func (w *Worker) execute(job *Job) {
 	delete(w.queuedCosts, job.ID)
 	w.mu.Unlock()
 
-	task, ok := w.wf.TaskFor(job.Stream)
+	var task *TaskSpec
+	var ok bool
+	if wf := w.workflowFor(job); wf != nil {
+		task, ok = wf.TaskFor(job.Stream)
+	}
 	done := MsgJobDone{JobID: job.ID, Worker: w.name}
 	if !ok {
 		done.Failed = true

@@ -90,6 +90,12 @@ type Fig3Row struct {
 	BaseMiss float64
 	BidMB    float64
 	BaseMB   float64
+	// BidMsgs and BaseMsgs are the mean contest-message counts — the
+	// allocation wire traffic behind each policy's numbers. They feed
+	// the CSV export; the rendered Figure 3 tables match the paper's
+	// three charts and omit them.
+	BidMsgs  float64
+	BaseMsgs float64
 }
 
 // Figure3 reproduces the per-workload aggregates of Figure 3 (a, b, c):
@@ -117,6 +123,8 @@ func figure3FromCells(cells []*Cell) []Fig3Row {
 			BaseMiss: base.MeanMisses(),
 			BidMB:    bid.MeanDataMB(),
 			BaseMB:   base.MeanDataMB(),
+			BidMsgs:  bid.MeanContestMsgs(),
+			BaseMsgs: base.MeanContestMsgs(),
 		})
 	}
 	return rows

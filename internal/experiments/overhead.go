@@ -24,9 +24,11 @@ type OverheadRow struct {
 	// AllocMS is the mean allocation latency (injection to queueing on a
 	// worker) in milliseconds — the direct cost of the contest.
 	AllocMS float64
-	// Contests and Bids count the allocation traffic.
-	Contests int
-	Bids     int
+	// Contests and Bids count the allocation rounds; ContestMsgs is the
+	// wire traffic those rounds generated (requests plus bids).
+	Contests    int
+	Bids        int
+	ContestMsgs int
 }
 
 // Overhead runs the small- and large-repository workloads under
@@ -53,11 +55,12 @@ func Overhead(opts SimOptions) ([]OverheadRow, error) {
 				continue
 			}
 			var allocMS float64
-			var contests, bids int
+			var contests, bids, msgs int
 			for _, r := range s.Runs {
 				allocMS += float64(r.AllocLatency) / float64(time.Millisecond)
 				contests += r.Contests
 				bids += r.Bids
+				msgs += r.ContestMsgs
 			}
 			rows = append(rows, OverheadRow{
 				Workload:    jc,
@@ -66,6 +69,7 @@ func Overhead(opts SimOptions) ([]OverheadRow, error) {
 				AllocMS:     allocMS / float64(s.Len()),
 				Contests:    contests / s.Len(),
 				Bids:        bids / s.Len(),
+				ContestMsgs: msgs / s.Len(),
 			})
 		}
 	}
@@ -81,14 +85,15 @@ func RenderOverhead(w io.Writer, rows []OverheadRow) {
 	t := &metrics.Table{
 		Title: "Bidding overhead: contest cost per policy per workload (all-equal fleet)",
 		Header: []string{"workload", "policy", "makespan", "mean alloc latency",
-			"contests", "bids"},
+			"contests", "bids", "contest msgs"},
 	}
 	for _, r := range rows {
 		t.AddRow(r.Workload.String(), r.Policy,
 			metrics.Seconds(r.MakespanSec),
 			fmt.Sprintf("%.1fms", r.AllocMS),
 			fmt.Sprintf("%d", r.Contests),
-			fmt.Sprintf("%d", r.Bids))
+			fmt.Sprintf("%d", r.Bids),
+			fmt.Sprintf("%d", r.ContestMsgs))
 	}
 	t.Render(w)
 }

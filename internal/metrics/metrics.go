@@ -24,6 +24,7 @@ type RunSummary struct {
 	DataLoadMB   float64
 	Jobs         int
 	Contests     int
+	ContestMsgs  int
 	Bids         int
 	Fallbacks    int
 	Offers       int
@@ -40,6 +41,7 @@ func FromReport(r *engine.Report) RunSummary {
 		DataLoadMB:   r.DataLoadMB,
 		Jobs:         r.JobsCompleted,
 		Contests:     r.Contests,
+		ContestMsgs:  r.ContestMsgs,
 		Bids:         r.Bids,
 		Fallbacks:    r.Fallbacks,
 		Offers:       r.Offers,
@@ -81,6 +83,20 @@ func (s *Series) MeanMisses() float64 {
 	var total int
 	for _, r := range s.Runs {
 		total += r.CacheMisses
+	}
+	return float64(total) / float64(len(s.Runs))
+}
+
+// MeanContestMsgs returns the average contest-message count — the
+// allocation traffic a run put on the wire (bid requests plus bids,
+// targeted or broadcast).
+func (s *Series) MeanContestMsgs() float64 {
+	if len(s.Runs) == 0 {
+		return 0
+	}
+	var total int
+	for _, r := range s.Runs {
+		total += r.ContestMsgs
 	}
 	return float64(total) / float64(len(s.Runs))
 }

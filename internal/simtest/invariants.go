@@ -106,6 +106,16 @@ func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...
 			killAt[k.Worker] = k.At
 		}
 	}
+	drainAt := make(map[string]time.Duration, len(sc.Faults.Drains))
+	for _, d := range sc.Faults.Drains {
+		if at, dup := drainAt[d.Worker]; !dup || d.At < at {
+			drainAt[d.Worker] = d.At
+		}
+	}
+	joinAt := make(map[string]time.Duration, len(sc.Faults.Joins))
+	for _, j := range sc.Faults.Joins {
+		joinAt[j.Worker.Name] = j.At
+	}
 	poison := make(map[string]bool, len(sc.Jobs))
 	for _, j := range sc.Jobs {
 		poison[j.ID] = j.Poison
@@ -134,6 +144,17 @@ func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...
 		if ev.Kind != engine.TraceInjected && s.injected == 0 {
 			return fail("timestamps-monotone", "job %s: %s before injection (event %d)",
 				ev.JobID, ev.Kind, i)
+		}
+		// A mid-run joiner must be invisible to allocation until it has
+		// joined: no contest, offer, assignment, or any other placement
+		// event may name it before its join time (registration — and its
+		// MsgRegisterAck — happen strictly after that).
+		if ev.Node != "" {
+			if jAt, isJoiner := joinAt[ev.Node]; isJoiner && ev.At.Sub(vclock.Epoch) < jAt {
+				return fail("no-placement-before-join",
+					"job %s: %s names joiner %s at %v, before its join at %v",
+					ev.JobID, ev.Kind, ev.Node, ev.At.Sub(vclock.Epoch), jAt)
+			}
 		}
 		switch ev.Kind {
 		case engine.TraceInjected:
@@ -182,15 +203,22 @@ func checkJobHistories(sc *Scenario, r *RunResult, fail func(string, string, ...
 					"job %s rejected by %s which was never offered it", ev.JobID, ev.Node)
 			}
 		case engine.TraceRedispatch:
-			at, killed := killAt[ev.Node]
-			if !killed {
+			// A redispatch is justified by the source's death, or by its
+			// graceful drain (a delay spike can reorder an assignment to
+			// land after the drain sentinel; the leave handshake rescues
+			// it back to the queue).
+			kAt, killed := killAt[ev.Node]
+			dAt, drained := drainAt[ev.Node]
+			evAt := ev.At.Sub(vclock.Epoch)
+			switch {
+			case killed && evAt >= kAt:
+			case drained && evAt >= dAt:
+			case !killed && !drained:
 				return fail("redispatch-after-death",
-					"job %s redispatched from %s, which was never killed", ev.JobID, ev.Node)
-			}
-			if ev.At.Sub(vclock.Epoch) < at {
+					"job %s redispatched from %s, which was never killed or drained", ev.JobID, ev.Node)
+			default:
 				return fail("redispatch-after-death",
-					"job %s redispatched from %s at %v, before its kill at %v",
-					ev.JobID, ev.Node, ev.At.Sub(vclock.Epoch), at)
+					"job %s redispatched from %s at %v, before its kill/drain", ev.JobID, ev.Node, evAt)
 			}
 			if s.lastNode != ev.Node {
 				return fail("redispatch-after-death",

@@ -126,6 +126,8 @@ func Execute(sc *Scenario, pol core.Policy) *RunResult {
 		Kills:        kills,
 		Partitions:   parts,
 		CacheShrinks: shrinks,
+		Joins:        sc.BuildJoins(),
+		Drains:       sc.BuildDrains(),
 		DelayFunc:    sc.delayFunc(clk),
 		DropFunc:     sc.dropFunc(),
 		Deadline:     sc.Deadline,

@@ -3,7 +3,8 @@
 // seeded generator draws adversarial scenarios — random worker fleets,
 // job streams, data-key distributions, and fault plans (worker kills,
 // network partitions, broker delay spikes, message loss, cache
-// shrink) — and drives every allocation policy through engine.Run on
+// shrink, mid-run worker joins, graceful drains) — and drives every
+// allocation policy through engine.Run on
 // the simulated clock. A library of invariant checkers then audits the
 // allocation trace: jobs finish exactly once, redispatches follow
 // deaths, assignments respect each policy's protocol, cache accounting
@@ -79,12 +80,30 @@ type ShrinkFault struct {
 	CapacityMB float64
 }
 
+// JoinFault scales the fleet up mid-run: a fresh worker with its own
+// speed/noise/storage profile registers At after the run starts
+// (engine.Join) and competes for every job submitted afterwards.
+type JoinFault struct {
+	Worker WorkerCfg
+	At     time.Duration
+}
+
+// DrainFault gracefully scales the fleet down: the worker finishes its
+// queue, deregisters, and leaves At after the run starts (engine.Drain).
+// Unlike a kill, a drain must lose no work.
+type DrainFault struct {
+	Worker string
+	At     time.Duration
+}
+
 // FaultPlan is the adversarial half of a scenario.
 type FaultPlan struct {
 	Kills      []KillFault
 	Partitions []PartitionFault
 	Spikes     []DelaySpike
 	Shrinks    []ShrinkFault
+	Joins      []JoinFault
+	Drains     []DrainFault
 	// DropProb is the per-delivery message-loss probability (0 = lossless).
 	// Drops are decided by a deterministic hash of the envelope, never by
 	// call order, so runs stay replayable.
@@ -96,7 +115,8 @@ type FaultPlan struct {
 // Empty reports whether the plan injects no faults at all.
 func (p FaultPlan) Empty() bool {
 	return len(p.Kills) == 0 && len(p.Partitions) == 0 && len(p.Spikes) == 0 &&
-		len(p.Shrinks) == 0 && p.DropProb == 0
+		len(p.Shrinks) == 0 && len(p.Joins) == 0 && len(p.Drains) == 0 &&
+		p.DropProb == 0
 }
 
 // Lossy reports whether the plan can silently lose protocol messages.
@@ -303,6 +323,71 @@ func genFaults(rng *rand.Rand, sc *Scenario, lim Limits) FaultPlan {
 		p.DropProb = 0.02 + rng.Float64()*0.18
 		p.DropSalt = rng.Int63()
 	}
+
+	// Elastic faults. These draws come after every pre-elastic draw so
+	// every older seed still generates the identical pre-elastic plan.
+	//
+	// Joins: one or two fresh workers register mid-run, each with an
+	// independently drawn profile, and must win contests like anyone else.
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			w := WorkerCfg{
+				Name:      fmt.Sprintf("j%d", i),
+				NetMBps:   2 + rng.Float64()*48,
+				RWMBps:    10 + rng.Float64()*190,
+				Link:      time.Duration(rng.Intn(101)) * time.Millisecond,
+				BidDelay:  time.Duration(rng.Intn(51)) * time.Millisecond,
+				Heartbeat: time.Duration(100+rng.Intn(701)) * time.Millisecond,
+				Seed:      sc.Seed*1000 + 500 + int64(i),
+			}
+			if rng.Intn(2) == 0 {
+				w.NoiseAmp = rng.Float64() * 0.3
+			}
+			switch rng.Intn(3) {
+			case 0:
+				w.CacheMB = -1
+			case 1:
+				w.CacheMB = 500 + rng.Float64()*4500
+			default:
+				w.CacheMB = 50 + rng.Float64()*450
+			}
+			p.Joins = append(p.Joins, JoinFault{
+				Worker: w,
+				At:     time.Duration(rng.Int63n(int64(span + 20*time.Second))),
+			})
+		}
+	}
+
+	// Drains: a graceful scale-down of an initial worker that is not
+	// also killed, always leaving at least one initial worker neither
+	// killed nor drained. A drain must lose no work, so unlike kills it
+	// stays in fault-free-completion scenarios' safe set.
+	if rng.Intn(3) == 0 {
+		killed := make(map[string]bool, len(p.Kills))
+		for _, k := range p.Kills {
+			killed[k.Worker] = true
+		}
+		var candidates []string
+		for _, w := range sc.Workers {
+			if !killed[w.Name] {
+				candidates = append(candidates, w.Name)
+			}
+		}
+		if len(candidates) > 1 {
+			n := 1 + rng.Intn(len(candidates)-1)
+			if n > 2 {
+				n = 2
+			}
+			perm := rng.Perm(len(candidates))
+			for i := 0; i < n; i++ {
+				p.Drains = append(p.Drains, DrainFault{
+					Worker: candidates[perm[i]],
+					At:     minKillAt + time.Duration(rng.Int63n(int64(span+30*time.Second))),
+				})
+			}
+		}
+	}
 	return p
 }
 
@@ -313,7 +398,12 @@ func genFaults(rng *rand.Rand, sc *Scenario, lim Limits) FaultPlan {
 // never an honestly slow run.
 func deadlineFor(sc *Scenario) time.Duration {
 	minNet, minRW := sc.Workers[0].NetMBps, sc.Workers[0].RWMBps
-	for _, w := range sc.Workers {
+	speeds := make([]WorkerCfg, 0, len(sc.Workers)+len(sc.Faults.Joins))
+	speeds = append(speeds, sc.Workers...)
+	for _, j := range sc.Faults.Joins {
+		speeds = append(speeds, j.Worker)
+	}
+	for _, w := range speeds {
 		if w.NetMBps < minNet {
 			minNet = w.NetMBps
 		}
@@ -361,18 +451,41 @@ func (sc *Scenario) Arrivals() []engine.Arrival {
 func (sc *Scenario) BuildWorkers() []*engine.WorkerState {
 	states := make([]*engine.WorkerState, 0, len(sc.Workers))
 	for _, w := range sc.Workers {
-		states = append(states, engine.NewWorkerState(engine.WorkerSpec{
-			Name:      w.Name,
-			Net:       speed(w.NetMBps, w.NoiseAmp),
-			RW:        speed(w.RWMBps, w.NoiseAmp),
-			CacheMB:   w.CacheMB,
-			Link:      w.Link,
-			BidDelay:  w.BidDelay,
-			Heartbeat: w.Heartbeat,
-			Seed:      w.Seed,
-		}, nil))
+		states = append(states, buildWorker(w))
 	}
 	return states
+}
+
+// BuildJoins materializes the plan's mid-run joiners for one engine
+// run, freshly like BuildWorkers so two runs never share state.
+func (sc *Scenario) BuildJoins() []engine.Join {
+	joins := make([]engine.Join, 0, len(sc.Faults.Joins))
+	for _, j := range sc.Faults.Joins {
+		joins = append(joins, engine.Join{State: buildWorker(j.Worker), At: j.At})
+	}
+	return joins
+}
+
+// BuildDrains converts the plan's graceful scale-downs.
+func (sc *Scenario) BuildDrains() []engine.Drain {
+	drains := make([]engine.Drain, 0, len(sc.Faults.Drains))
+	for _, d := range sc.Faults.Drains {
+		drains = append(drains, engine.Drain{Worker: d.Worker, At: d.At})
+	}
+	return drains
+}
+
+func buildWorker(w WorkerCfg) *engine.WorkerState {
+	return engine.NewWorkerState(engine.WorkerSpec{
+		Name:      w.Name,
+		Net:       speed(w.NetMBps, w.NoiseAmp),
+		RW:        speed(w.RWMBps, w.NoiseAmp),
+		CacheMB:   w.CacheMB,
+		Link:      w.Link,
+		BidDelay:  w.BidDelay,
+		Heartbeat: w.Heartbeat,
+		Seed:      w.Seed,
+	}, nil)
 }
 
 // String renders the scenario as a readable spec — what xflow-fuzz
@@ -400,6 +513,14 @@ func (sc *Scenario) String() string {
 	}
 	for _, sh := range sc.Faults.Shrinks {
 		fmt.Fprintf(&b, "  fault cache-shrink %s at=%v to=%.0fMB\n", sh.Worker, sh.At, sh.CapacityMB)
+	}
+	for _, j := range sc.Faults.Joins {
+		w := j.Worker
+		fmt.Fprintf(&b, "  fault join %-4s at=%v net=%.1fMB/s rw=%.1fMB/s noise=%.2f cache=%.0fMB link=%v bid=%v hb=%v\n",
+			w.Name, j.At, w.NetMBps, w.RWMBps, w.NoiseAmp, w.CacheMB, w.Link, w.BidDelay, w.Heartbeat)
+	}
+	for _, d := range sc.Faults.Drains {
+		fmt.Fprintf(&b, "  fault drain %s at=%v\n", d.Worker, d.At)
 	}
 	if sc.Faults.DropProb > 0 {
 		fmt.Fprintf(&b, "  fault drops p=%.3f salt=%d\n", sc.Faults.DropProb, sc.Faults.DropSalt)

@@ -72,6 +72,20 @@ func shrinkStep(sc *Scenario, sameFailure func(*Scenario) bool) *Scenario {
 			return cand
 		}
 	}
+	for i := range sc.Faults.Joins {
+		cand := sc.clone()
+		cand.Faults.Joins = append(cand.Faults.Joins[:i:i], cand.Faults.Joins[i+1:]...)
+		if sameFailure(cand) {
+			return cand
+		}
+	}
+	for i := range sc.Faults.Drains {
+		cand := sc.clone()
+		cand.Faults.Drains = append(cand.Faults.Drains[:i:i], cand.Faults.Drains[i+1:]...)
+		if sameFailure(cand) {
+			return cand
+		}
+	}
 	if sc.Faults.DropProb > 0 {
 		cand := sc.clone()
 		cand.Faults.DropProb = 0
@@ -100,6 +114,8 @@ func (sc *Scenario) clone() *Scenario {
 	cp.Faults.Partitions = append([]PartitionFault(nil), sc.Faults.Partitions...)
 	cp.Faults.Spikes = append([]DelaySpike(nil), sc.Faults.Spikes...)
 	cp.Faults.Shrinks = append([]ShrinkFault(nil), sc.Faults.Shrinks...)
+	cp.Faults.Joins = append([]JoinFault(nil), sc.Faults.Joins...)
+	cp.Faults.Drains = append([]DrainFault(nil), sc.Faults.Drains...)
 	return &cp
 }
 
@@ -134,8 +150,24 @@ func (sc *Scenario) dropWorker(i int) *Scenario {
 	}
 	cand.Faults.Shrinks = shrinks
 
-	// Every kill must still leave a survivor.
-	if len(cand.Faults.Kills) >= len(cand.Workers) {
+	drains := cand.Faults.Drains[:0]
+	for _, d := range cand.Faults.Drains {
+		if d.Worker != name {
+			drains = append(drains, d)
+		}
+	}
+	cand.Faults.Drains = drains
+
+	// Kills and drains together must still leave one initial worker
+	// untouched, matching the generator's well-formedness guarantee.
+	gone := make(map[string]bool, len(cand.Faults.Kills)+len(cand.Faults.Drains))
+	for _, k := range cand.Faults.Kills {
+		gone[k.Worker] = true
+	}
+	for _, d := range cand.Faults.Drains {
+		gone[d.Worker] = true
+	}
+	if len(gone) >= len(cand.Workers) {
 		return nil
 	}
 	return cand

@@ -1,0 +1,247 @@
+// Reconnecting client: the long-lived deployment shape needs workers
+// that survive a broker restart or a dropped TCP connection instead of
+// exiting. AutoClient wraps Client with a persistent inbox and a redial
+// loop using capped exponential backoff; the server side resumes
+// delivery for a known endpoint name on reconnect, so from the engine's
+// point of view the outage is just a burst of lost messages — exactly
+// the failure model the master's retry paths already cover.
+//
+// This package runs on wall-clock time by design (it exists only in
+// real deployments), so the bare time.Sleep here is intentional.
+package transport
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"crossflow/internal/engine"
+	"crossflow/internal/vclock"
+)
+
+// Backoff bounds for the redial loop.
+const (
+	reconnectInitialBackoff = 100 * time.Millisecond
+	reconnectMaxBackoff     = 5 * time.Second
+)
+
+// AutoClient is a Client that redials on connection loss. Its Inbox is
+// independent of any single connection, so the engine's comms loop
+// never observes the drop: deliveries simply pause during the outage
+// and resume after the redial. Subscriptions are replayed on every
+// reconnect; an OnReconnect hook lets the node replay its own
+// application-level handshake (a worker re-registers with the master).
+type AutoClient struct {
+	addr  string
+	name  string
+	link  time.Duration
+	clk   vclock.Clock
+	inbox vclock.Mailbox
+
+	mu           sync.Mutex
+	cur          *Client
+	topics       map[string]bool
+	onReconnect  func(*AutoClient)
+	reconnects   int
+	closed       bool
+	deregistered bool
+}
+
+// DialAuto connects like Dial but returns a self-healing client. The
+// initial dial must succeed; only subsequent drops trigger the redial
+// loop.
+func DialAuto(addr, name string, link time.Duration, clk vclock.Clock) (*AutoClient, error) {
+	c, err := Dial(addr, name, link, clk)
+	if err != nil {
+		return nil, err
+	}
+	a := &AutoClient{
+		addr:   addr,
+		name:   name,
+		link:   link,
+		clk:    clk,
+		inbox:  clk.NewMailbox("auto:" + name),
+		topics: make(map[string]bool),
+		cur:    c,
+	}
+	go a.pump(c)
+	return a, nil
+}
+
+// SetOnReconnect installs a hook run after every successful redial,
+// once subscriptions have been replayed. A worker uses it to re-send
+// MsgRegister (the master idempotently re-acks known names). Set it
+// before the first drop can happen.
+func (a *AutoClient) SetOnReconnect(f func(*AutoClient)) {
+	a.mu.Lock()
+	a.onReconnect = f
+	a.mu.Unlock()
+}
+
+// Reconnects reports how many times the client has redialed.
+func (a *AutoClient) Reconnects() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reconnects
+}
+
+// pump forwards one connection's deliveries into the persistent inbox,
+// then hands off to the redial loop when the connection dies.
+func (a *AutoClient) pump(c *Client) {
+	for {
+		v, ok := c.inbox.Recv()
+		if !ok {
+			break
+		}
+		a.inbox.Send(v)
+	}
+	a.mu.Lock()
+	stop := a.closed || a.deregistered
+	a.mu.Unlock()
+	if stop {
+		return
+	}
+	a.redial()
+}
+
+// redial re-establishes the connection with capped exponential backoff,
+// replays subscriptions, runs the reconnect hook, and restarts the
+// delivery pump. It gives up only when the client is closed.
+func (a *AutoClient) redial() {
+	backoff := reconnectInitialBackoff
+	for {
+		a.mu.Lock()
+		if a.closed || a.deregistered {
+			a.mu.Unlock()
+			return
+		}
+		a.mu.Unlock()
+		c, err := Dial(a.addr, a.name, a.link, a.clk)
+		if err == nil {
+			a.mu.Lock()
+			if a.closed || a.deregistered {
+				a.mu.Unlock()
+				_ = c.Close()
+				return
+			}
+			a.cur = c
+			a.reconnects++
+			topics := make([]string, 0, len(a.topics))
+			for t := range a.topics {
+				topics = append(topics, t)
+			}
+			hook := a.onReconnect
+			a.mu.Unlock()
+			sort.Strings(topics)
+			for _, t := range topics {
+				c.Subscribe(t)
+			}
+			if hook != nil {
+				hook(a)
+			}
+			go a.pump(c)
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > reconnectMaxBackoff {
+			backoff = reconnectMaxBackoff
+		}
+	}
+}
+
+// current returns the live connection, nil once closed.
+func (a *AutoClient) current() *Client {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	return a.cur
+}
+
+// Name implements engine.Port.
+func (a *AutoClient) Name() string { return a.name }
+
+// Inbox implements engine.Port: the persistent mailbox that outlives
+// individual connections.
+func (a *AutoClient) Inbox() vclock.Mailbox { return a.inbox }
+
+// Send implements engine.Port. A send during an outage is dropped —
+// the same at-most-once discipline as every other path in the system.
+func (a *AutoClient) Send(to string, payload any) bool {
+	if c := a.current(); c != nil {
+		return c.Send(to, payload)
+	}
+	return false
+}
+
+// Publish implements engine.Port.
+func (a *AutoClient) Publish(topic string, payload any) int {
+	if c := a.current(); c != nil {
+		return c.Publish(topic, payload)
+	}
+	return 0
+}
+
+// Subscribe implements engine.Port and records the topic for replay
+// after a reconnect.
+func (a *AutoClient) Subscribe(topic string) {
+	a.mu.Lock()
+	a.topics[topic] = true
+	c := a.cur
+	closed := a.closed
+	a.mu.Unlock()
+	if !closed && c != nil {
+		c.Subscribe(topic)
+	}
+}
+
+// Unsubscribe stops topic deliveries and drops the replay record.
+func (a *AutoClient) Unsubscribe(topic string) {
+	a.mu.Lock()
+	delete(a.topics, topic)
+	c := a.cur
+	closed := a.closed
+	a.mu.Unlock()
+	if !closed && c != nil {
+		c.Unsubscribe(topic)
+	}
+}
+
+// Deregister implements the engine's graceful-leave hook: the name is
+// freed on the broker and the redial loop stands down for good.
+func (a *AutoClient) Deregister() {
+	a.mu.Lock()
+	if a.deregistered || a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.deregistered = true
+	c := a.cur
+	a.mu.Unlock()
+	if c != nil {
+		c.Deregister()
+	}
+}
+
+// Close tears the client down permanently: no further redials, and the
+// persistent inbox closes.
+func (a *AutoClient) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	c := a.cur
+	a.mu.Unlock()
+	var err error
+	if c != nil {
+		err = c.Close()
+	}
+	a.inbox.Close()
+	return err
+}
+
+// Interface check.
+var _ engine.Port = (*AutoClient)(nil)

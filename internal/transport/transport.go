@@ -32,6 +32,7 @@ const (
 	kindSubscribe
 	kindUnsubscribe
 	kindDelivery
+	kindDeregister
 )
 
 // frame is the single wire message shape; Kind selects the meaning.
@@ -64,6 +65,8 @@ func init() {
 	gob.Register(engine.MsgEmit{})
 	gob.Register(engine.MsgStop{})
 	gob.Register(engine.MsgWorkerDead{})
+	gob.Register(engine.MsgDrain{})
+	gob.Register(engine.MsgLeave{})
 	gob.Register(&engine.Job{})
 }
 
@@ -202,6 +205,12 @@ func (s *Server) handle(conn net.Conn) {
 			ep.Subscribe(f.Topic)
 		case kindUnsubscribe:
 			ep.Unsubscribe(f.Topic)
+		case kindDeregister:
+			// Graceful leave: free the endpoint name for future joiners
+			// instead of parking it disconnected.
+			ep.Inbox().Close()
+			ep.Deregister()
+			return
 		}
 	}
 }
@@ -343,6 +352,13 @@ func (c *Client) Subscribe(topic string) {
 // Unsubscribe stops topic deliveries.
 func (c *Client) Unsubscribe(topic string) {
 	_ = c.encode(frame{Kind: kindUnsubscribe, Topic: topic})
+}
+
+// Deregister frees the endpoint name on the broker (the graceful-leave
+// half of the engine's drain protocol) and tears the connection down.
+func (c *Client) Deregister() {
+	_ = c.encode(frame{Kind: kindDeregister})
+	_ = c.Close()
 }
 
 // Interface checks.

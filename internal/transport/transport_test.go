@@ -284,6 +284,8 @@ func TestWireRoundTripAllMessages(t *testing.T) {
 		engine.MsgEmit{Job: job, Worker: "a"},
 		engine.MsgStop{},
 		engine.MsgWorkerDead{Worker: "a"},
+		engine.MsgDrain{},
+		engine.MsgLeave{Worker: "a"},
 	}
 	for i, payload := range payloads {
 		if !a.Send("b", payload) {
