@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -47,8 +48,13 @@ func main() {
 		res := runBest(spec, *repeat)
 		file.Results = append(file.Results, res)
 		fmt.Printf("%-32s %12d iters %14.1f ns/op %8.0f allocs/op", res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp)
-		for k, v := range res.Metrics {
-			fmt.Printf("  %s=%.2f", k, v)
+		metrics := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			metrics = append(metrics, k)
+		}
+		sort.Strings(metrics)
+		for _, k := range metrics {
+			fmt.Printf("  %s=%.2f", k, res.Metrics[k])
 		}
 		fmt.Println()
 	}

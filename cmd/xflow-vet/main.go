@@ -8,17 +8,23 @@
 //
 //	go run ./cmd/xflow-vet ./...
 //	go run ./cmd/xflow-vet -rules walltime,globalrand ./...
+//	go run ./cmd/xflow-vet -json ./...
 //	go run ./cmd/xflow-vet -list
 //	go run ./cmd/xflow-vet -dir internal/analysis/testdata/src/walltime \
 //	    -as crossflow/internal/engine
 //
 // The package pattern argument is accepted for familiarity with go vet
 // but the tool always vets the whole module containing the working
-// directory. Exit status is 1 when findings are reported, 2 on usage
+// directory. -json switches the findings on stdout to a JSON array of
+// {file, line, col, rule, message} objects for machine consumers; under
+// GitHub Actions (GITHUB_ACTIONS=true) each finding is additionally
+// emitted as a ::error workflow command so it surfaces as an inline PR
+// annotation. Exit status is 1 when findings are reported, 2 on usage
 // or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,12 +34,23 @@ import (
 	"crossflow/internal/analysis"
 )
 
+// diagnostic is the JSON shape of one finding. File is module-relative
+// with forward slashes, matching what CI annotations want.
+type diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	var (
-		rules = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		list  = flag.Bool("list", false, "list available rules and exit")
-		dir   = flag.String("dir", "", "vet a single package directory instead of the module")
-		as    = flag.String("as", "", "with -dir: assume this import path (package-scoped rules key off it)")
+		rules   = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list    = flag.Bool("list", false, "list available rules and exit")
+		dir     = flag.String("dir", "", "vet a single package directory instead of the module")
+		as      = flag.String("as", "", "with -dir: assume this import path (package-scoped rules key off it)")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
 
@@ -70,13 +87,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xflow-vet:", err)
 		os.Exit(2)
 	}
+	diags := make([]diagnostic, 0, len(findings))
 	for _, f := range findings {
-		fmt.Println(relativize(root, f.String()))
+		diags = append(diags, diagnostic{
+			File:    relativeFile(root, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Msg,
+		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "xflow-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(relativize(root, f.String()))
+		}
+	}
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		for _, d := range diags {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=xflow-vet %s::%s\n",
+				d.File, d.Line, d.Col, d.Rule, escapeWorkflowData(d.Message))
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "xflow-vet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relativeFile renders a finding's filename module-relative with
+// forward slashes — the form GitHub annotations and tooling expect.
+func relativeFile(root, name string) string {
+	return filepath.ToSlash(strings.TrimPrefix(name, root+string(filepath.Separator)))
+}
+
+// escapeWorkflowData applies the GitHub workflow-command escaping for
+// message data (%, CR, LF).
+func escapeWorkflowData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
 }
 
 // moduleRoot walks up from the working directory to the enclosing

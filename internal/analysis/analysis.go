@@ -86,6 +86,10 @@ type Pass struct {
 	// must degrade gracefully (skip, never guess) on nil type info.
 	Pkg  *types.Package
 	Info *types.Info
+	// Facts is the shared fact layer: //xflow: directives and
+	// type-derived protocol/ownership facts, computed once per package
+	// and shared by every analyzer in the run.
+	Facts *Facts
 
 	findings *[]Finding
 }
@@ -127,6 +131,9 @@ func All() []*Analyzer {
 		GlobalRand,
 		LockedSend,
 		ErrDrop,
+		MapOrder,
+		MsgExhaustive,
+		LoopOwned,
 	}
 }
 
@@ -167,7 +174,7 @@ func Check(root string, analyzers []*Analyzer) ([]Finding, error) {
 	}
 	var findings []Finding
 	for _, cp := range pkgs {
-		findings = append(findings, checkPackage(l.fset, cp, analyzers)...)
+		findings = append(findings, checkPackage(l.fset, cp, analyzers, true)...)
 	}
 	sortFindings(findings)
 	return findings, nil
@@ -198,7 +205,7 @@ func CheckDir(dir, asPath string, analyzers []*Analyzer) ([]Finding, error) {
 	if cp == nil {
 		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	findings := checkPackage(fset, cp, analyzers)
+	findings := checkPackage(fset, cp, analyzers, false)
 	sortFindings(findings)
 	return findings, nil
 }
@@ -219,9 +226,12 @@ func sortFindings(findings []Finding) {
 	})
 }
 
-// checkPackage runs the analyzers over one loaded package and applies
-// suppression comments.
-func checkPackage(fset *token.FileSet, cp *checkedPkg, analyzers []*Analyzer) []Finding {
+// checkPackage runs the analyzers over one loaded package, applies
+// suppression comments, and — when audit is set — flags stale
+// suppressions. The audit runs on module checks (Check) but not on
+// fixture/one-off directories (CheckDir): fixtures deliberately carry
+// suppressions for rules a scoped run may not fire.
+func checkPackage(fset *token.FileSet, cp *checkedPkg, analyzers []*Analyzer, audit bool) []Finding {
 	var findings []Finding
 	pass := &Pass{
 		Fset:     fset,
@@ -229,78 +239,98 @@ func checkPackage(fset *token.FileSet, cp *checkedPkg, analyzers []*Analyzer) []
 		PkgPath:  cp.path,
 		Pkg:      cp.pkg,
 		Info:     cp.info,
+		Facts:    computeFacts(fset, cp.files, cp.info),
 		findings: &findings,
 	}
 	for _, a := range analyzers {
 		a.Run(pass)
 	}
-	return filterSuppressed(fset, cp.files, findings)
-}
-
-// allowedLines maps file -> line -> set of rules suppressed on that
-// line by //xflow:allow comments.
-func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	allowed := make(map[string]map[int]map[string]bool)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				rules, ok := parseAllow(c.Text)
-				if !ok {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := allowed[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					allowed[pos.Filename] = byLine
-				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					byLine[pos.Line] = set
-				}
-				for _, r := range rules {
-					set[r] = true
-				}
+	kept, sites := filterSuppressed(pass.Facts, findings)
+	if !audit {
+		return kept
+	}
+	// Stale-suppression audit: an //xflow:allow naming a rule that ran
+	// in this check but matched no finding at its site is dead weight —
+	// either the violation was fixed (delete the comment) or the comment
+	// drifted away from the line it excuses (it no longer protects
+	// anything). Only rules in the active analyzer set are audited, so
+	// a scoped -rules run never calls other rules' suppressions stale.
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	for _, s := range sites {
+		for _, r := range s.rules {
+			if active[r] && !s.used[r] {
+				kept = append(kept, Finding{
+					Pos:  fset.Position(s.d.pos),
+					Rule: "stalesuppress",
+					Msg:  fmt.Sprintf("stale suppression: rule %q no longer fires on this line; remove it from the //xflow:allow", r),
+				})
 			}
 		}
 	}
-	return allowed
+	return kept
 }
 
 // parseAllow parses an "//xflow:allow rule[,rule...] [reason]" comment.
 func parseAllow(text string) (rules []string, ok bool) {
-	const prefix = "//xflow:allow"
-	if !strings.HasPrefix(text, prefix) {
+	d, ok := parseDirective(text)
+	if !ok || d.verb != "allow" || len(d.args) == 0 {
 		return nil, false
 	}
-	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return nil, false
-	}
-	for _, r := range strings.Split(fields[0], ",") {
-		if r = strings.TrimSpace(r); r != "" {
-			rules = append(rules, r)
-		}
-	}
+	rules = splitList(d.args[0])
 	return rules, len(rules) > 0
 }
 
+// allowSite is one //xflow:allow comment, with per-rule usage tracking
+// for the stale-suppression audit.
+type allowSite struct {
+	d     *directive
+	rules []string
+	used  map[string]bool
+}
+
 // filterSuppressed drops findings covered by an //xflow:allow comment
-// on the same line or the line directly above.
-func filterSuppressed(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
-	if len(findings) == 0 {
-		return nil
-	}
-	allowed := allowedLines(fset, files)
-	out := findings[:0]
-	for _, f := range findings {
-		byLine := allowed[f.Pos.Filename]
-		if byLine != nil && (byLine[f.Pos.Line][f.Rule] || byLine[f.Pos.Line-1][f.Rule]) {
+// on the same line or the line directly above, and returns the allow
+// sites with the rules each one actually suppressed marked used.
+func filterSuppressed(fx *Facts, findings []Finding) ([]Finding, []*allowSite) {
+	var sites []*allowSite
+	byLine := make(map[string]map[int][]*allowSite)
+	for _, d := range fx.all("allow") {
+		if len(d.args) == 0 {
 			continue
 		}
-		out = append(out, f)
+		rules := splitList(d.args[0])
+		if len(rules) == 0 {
+			continue
+		}
+		s := &allowSite{d: d, rules: rules, used: make(map[string]bool)}
+		sites = append(sites, s)
+		m := byLine[d.file]
+		if m == nil {
+			m = make(map[int][]*allowSite)
+			byLine[d.file] = m
+		}
+		m[d.line] = append(m[d.line], s)
 	}
-	return out
+
+	out := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+			for _, s := range byLine[f.Pos.Filename][line] {
+				for _, r := range s.rules {
+					if r == f.Rule {
+						s.used[r] = true
+						suppressed = true
+					}
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	return out, sites
 }

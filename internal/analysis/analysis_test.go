@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"fmt"
+	"go/importer"
+	"go/token"
 	"os"
 	"path/filepath"
 	"strings"
@@ -77,6 +79,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{GlobalRand, "globalrand", ModulePath + "/internal/core"},
 		{LockedSend, "lockedsend", ModulePath + "/internal/core"},
 		{ErrDrop, "errdrop", ModulePath + "/internal/msr"},
+		// The protocol-aware analyzers are annotation-gated rather than
+		// package-gated; the import path is arbitrary.
+		{MapOrder, "maporder", ModulePath + "/internal/engine"},
+		{MsgExhaustive, "msgexhaustive", ModulePath + "/internal/engine"},
+		{LoopOwned, "loopowned", ModulePath + "/internal/engine"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -141,6 +148,131 @@ func TestParseAllow(t *testing.T) {
 		}
 		if strings.Join(got, ",") != strings.Join(tc.want, ",") {
 			t.Errorf("parseAllow(%q) = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}
+
+// auditFindings runs analyzers over a fixture directory with the
+// stale-suppression audit enabled — the configuration Check uses for
+// module runs, which CheckDir deliberately does not apply.
+func auditFindings(t *testing.T, dir, pkgPath string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		root:    abs,
+		modpath: ModulePath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*checkedPkg),
+		loading: make(map[string]bool),
+	}
+	cp, err := l.checkDir(abs, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings := checkPackage(fset, cp, analyzers, true)
+	sortFindings(findings)
+	return findings
+}
+
+// TestStaleSuppressionAudit checks the three audit behaviors: a used
+// suppression stays silent, an unused one for an active rule is
+// flagged, and an unused one for a rule outside the analyzer set is
+// left alone until that rule actually runs.
+func TestStaleSuppressionAudit(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "stalesuppress")
+	pkg := ModulePath + "/internal/engine"
+
+	got := auditFindings(t, dir, pkg, []*Analyzer{MapOrder})
+	if len(got) != 1 || got[0].Rule != "stalesuppress" {
+		t.Fatalf("maporder-only audit = %v, want exactly one stalesuppress finding", got)
+	}
+	if !strings.Contains(got[0].Msg, `"maporder"`) {
+		t.Errorf("stale finding names the wrong rule: %s", got[0].Msg)
+	}
+
+	got = auditFindings(t, dir, pkg, []*Analyzer{MapOrder, WallTime})
+	if len(got) != 2 {
+		t.Fatalf("maporder+walltime audit = %v, want two stalesuppress findings", got)
+	}
+	for _, f := range got {
+		if f.Rule != "stalesuppress" {
+			t.Errorf("unexpected rule %s: %s", f.Rule, f.Msg)
+		}
+	}
+
+	// The fixture pipeline (no audit) must not flag anything: the same
+	// directory is clean under CheckDir, which is what keeps fixture
+	// suppressions for scoped runs legal.
+	if got := fixtureFindings(t, MapOrder, dir, pkg); len(got) != 0 {
+		t.Errorf("CheckDir applied the audit: %v", got)
+	}
+}
+
+// TestUnhandledDirectiveErrors covers the //xflow:unhandled grammar
+// findings that cannot carry inline "// want" markers (a marker would
+// itself become the directive's reason text).
+func TestUnhandledDirectiveErrors(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+//xflow:msg delta
+type MsgDeltaOne struct{}
+
+//xflow:msg delta
+type MsgDeltaTwo struct{}
+
+func dispatchDelta(v any) {
+	//xflow:dispatch delta
+	switch v.(type) {
+	case MsgDeltaOne:
+	default:
+		//xflow:unhandled MsgDeltaTwo
+		//xflow:unhandled MsgTypo listed kind does not exist
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := CheckDir(dir, ModulePath+"/internal/engine", []*Analyzer{MsgExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%d:%s", f.Pos.Line, f.Rule))
+	}
+	// Line 14: missing reason; line 15: unknown kind. The reasonless
+	// directive still excuses MsgDeltaTwo, so no missing-kind finding.
+	want := []string{"14:msgexhaustive", "15:msgexhaustive"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("directive errors = %v, want %v", got, want)
+	}
+}
+
+func TestParseOwnedArgs(t *testing.T) {
+	cases := []struct {
+		args          []string
+		domain, mutex string
+	}{
+		{[]string{"looper"}, "looper", ""},
+		{[]string{"mu=mu"}, "", "mu"},
+		{[]string{"looper", "mu=mu"}, "looper", "mu"},
+		{[]string{"looper", "mu=mu", "either", "suffices"}, "looper", "mu"},
+		{[]string{"mu=mu", "(running", "sum)"}, "", "mu"},
+		{[]string{"looper", "reason", "mu=notamutex"}, "looper", ""},
+		{nil, "", ""},
+	}
+	for _, tc := range cases {
+		domain, mutex := parseOwnedArgs(tc.args)
+		if domain != tc.domain || mutex != tc.mutex {
+			t.Errorf("parseOwnedArgs(%v) = (%q, %q), want (%q, %q)",
+				tc.args, domain, mutex, tc.domain, tc.mutex)
 		}
 	}
 }

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` statements over maps whose nondeterministic
+// iteration order flows into an ordering-sensitive sink. Go randomizes
+// map iteration on purpose; when the loop body sends a message per
+// entry (broker Send/SendMulti, a topic publish, an allocation), or
+// collects entries into a slice that is later sent or printed, the
+// delivery order — and with it the whole downstream schedule of a
+// deterministic run — changes from execution to execution. This is the
+// exact bug class the simulation-testing harness caught dynamically as
+// "map-order fanout" (PR 2); maporder catches it before a fuzz seed
+// ever has to.
+//
+// Two shapes are flagged:
+//
+//   - direct: a sink call lexically inside the body of a map range;
+//   - indirect: the body appends to a slice declared outside the loop,
+//     and that slice later reaches a sink (as a call argument, or
+//     ranged by a loop that contains a sink) without being sorted
+//     first.
+//
+// The analysis is intra-procedural. Sorting the collected slice
+// (sort.Strings/Slice/..., slices.Sort*) anywhere in the function
+// clears it — the canonical fix is exactly "collect keys, sort, then
+// fan out", and that idiom must stay silent.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose nondeterministic order reaches an ordering-sensitive sink",
+	Run:  runMapOrder,
+}
+
+// mapOrderSinks lists method names whose call order is observable:
+// message sends, targeted fanout, allocations, and writes to a shared
+// text buffer. Each call emits something whose position in the global
+// order matters.
+var mapOrderSinks = map[string]bool{
+	"Send":                true,
+	"SendMulti":           true,
+	"Publish":             true,
+	"PublishBidRequest":   true,
+	"PublishBidRequestTo": true,
+	"Assign":              true,
+	"Offer":               true,
+	"Inject":              true,
+	"Deliver":             true,
+	"WriteString":         true,
+}
+
+// sortFuncs lists sort/slices package functions that fix an order.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "Stable": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncMapOrder(pass, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level function literals (package var initializers);
+				// literals inside declarations are covered by their
+				// enclosing function's walk.
+				checkFuncMapOrder(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// collected tracks one slice variable filled inside a map range.
+type collected struct {
+	rng    *ast.RangeStmt
+	sorted bool
+	sink   string // description of the sink use, "" until seen
+}
+
+// checkFuncMapOrder runs the two-phase dataflow over one function body.
+func checkFuncMapOrder(pass *Pass, body *ast.BlockStmt) {
+	// Phase 1: find map ranges; flag direct sinks; record collectors.
+	vars := make(map[types.Object]*collected)
+	var order []types.Object // report in source order, not map order
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(pass, rng.X) {
+			return true
+		}
+		if pos, name, found := findSink(pass, rng.Body); found {
+			pass.Reportf(rng.Pos(), "maporder",
+				"map iteration order is nondeterministic and this loop calls %s (line %d) per entry; iterate a sorted key slice instead",
+				name, pass.Fset.Position(pos).Line)
+		}
+		for _, obj := range collectors(pass, rng) {
+			if _, dup := vars[obj]; !dup {
+				vars[obj] = &collected{rng: rng}
+				order = append(order, obj)
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Phase 2: look for sort calls and sink uses of the collectors.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isSortCall(pass, x) {
+				for _, arg := range x.Args {
+					if obj := rootObj(pass, arg); obj != nil {
+						if c := vars[obj]; c != nil {
+							c.sorted = true
+						}
+					}
+				}
+				return true
+			}
+			if name, ok := sinkCall(x); ok {
+				for _, arg := range x.Args {
+					if obj := rootObj(pass, arg); obj != nil {
+						if c := vars[obj]; c != nil && c.sink == "" {
+							c.sink = name + " argument"
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			obj := rootObj(pass, x.X)
+			if obj == nil {
+				return true
+			}
+			c := vars[obj]
+			if c == nil || c.sink != "" {
+				return true
+			}
+			if _, name, found := findSink(pass, x.Body); found {
+				c.sink = name + " inside a loop over it"
+			}
+		}
+		return true
+	})
+
+	for _, obj := range order {
+		c := vars[obj]
+		if c.sink != "" && !c.sorted {
+			pass.Reportf(c.rng.Pos(), "maporder",
+				"%s collects entries in nondeterministic map order and later reaches an ordering-sensitive sink (%s); sort it before the fanout",
+				obj.Name(), c.sink)
+		}
+	}
+}
+
+// isMapExpr reports whether e's type is a map. Missing type info never
+// flags.
+func isMapExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// findSink returns the first ordering-sensitive sink call inside n.
+func findSink(pass *Pass, n ast.Node) (pos token.Pos, name string, found bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := sinkCall(call); ok {
+			pos, name, found = call.Pos(), s, true
+			return false
+		}
+		if isFmtPrint(pass, call) {
+			pos, name, found = call.Pos(), printName(call), true
+			return false
+		}
+		return true
+	})
+	return pos, name, found
+}
+
+// sinkCall reports whether call is a method call from the sink set.
+func sinkCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !mapOrderSinks[sel.Sel.Name] {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isFmtPrint reports whether call is fmt.Print*/Fprint*/Sprint* — a
+// write whose position in the output stream depends on call order.
+// Sprint* only matters when its result is itself emitted, but flagging
+// it inside a map range is still right: building text per entry in map
+// order is the bug whichever line finally prints it.
+func isFmtPrint(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.pkgName(id) != "fmt" {
+		return false
+	}
+	name := sel.Sel.Name
+	return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+}
+
+func printName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "fmt." + sel.Sel.Name
+	}
+	return "fmt print"
+}
+
+// collectors returns the outer-declared slice variables appended to
+// inside rng's body: `v = append(v, ...)` where v is declared before
+// the range statement.
+func collectors(pass *Pass, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" {
+				continue
+			}
+			if pass.Info.Uses[fun] != types.Universe.Lookup("append") {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			obj := rootObj(pass, as.Lhs[i])
+			if obj == nil || seen[obj] {
+				continue
+			}
+			// Only variables that outlive the loop carry its order out.
+			if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+				continue
+			}
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// isSortCall reports whether call is a sort/slices package call that
+// establishes a deterministic order.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !sortFuncs[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch pass.pkgName(id) {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// rootObj resolves e to the object of its base identifier: v, v[i],
+// v[i:j], &v, *v all resolve to v. Non-identifier bases return nil.
+func rootObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					return obj
+				}
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

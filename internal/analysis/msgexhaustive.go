@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MsgExhaustive checks that every protocol message kind is handled by
+// every dispatch switch that is supposed to receive it. The protocol is
+// declared with annotations:
+//
+//	//xflow:msg <role>[,<role>...]        on each Msg*/msg* type
+//	//xflow:dispatch <role>               above a payload type switch
+//	//xflow:unhandled <Kind>[,...] reason inside the switch's default
+//
+// A dispatch switch for role R must have a case for every kind
+// annotated with R, or list it in an //xflow:unhandled directive with a
+// reason. The analyzer also closes the loop in both directions: in a
+// package that uses these annotations at all, an unannotated Msg* type
+// is itself a finding (a new kind cannot silently join the protocol
+// without declaring who handles it), a role nobody dispatches is a
+// finding (the annotation drifted from the code), and an
+// //xflow:unhandled entry for a kind the switch does handle — or that
+// the role never receives — is stale and flagged.
+//
+// This is the static guard for the MsgDrain class of bug: PR 5's
+// drain/leave handshake added message kinds that only work because both
+// loops grew cases in lockstep, and nothing before this rule would have
+// noticed one side forgetting.
+var MsgExhaustive = &Analyzer{
+	Name: "msgexhaustive",
+	Doc:  "every annotated message kind must be handled (or explicitly defaulted) by its role's dispatch switch",
+	Run:  runMsgExhaustive,
+}
+
+func runMsgExhaustive(pass *Pass) {
+	fx := pass.Facts
+	if fx == nil {
+		return
+	}
+	kinds := fx.MsgKinds()
+
+	// Package gating: the rule is active only where the annotations are
+	// in use, so unrelated packages with Msg-prefixed type names (API
+	// payloads, test doubles) stay silent until they opt in.
+	if len(fx.all("dispatch")) == 0 && len(fx.all("msg")) == 0 {
+		return
+	}
+
+	byRole := make(map[string][]*msgKind)
+	kindByName := make(map[string]*msgKind)
+	for _, k := range kinds {
+		kindByName[k.name] = k
+		if k.roles == nil {
+			pass.Reportf(k.pos, "msgexhaustive",
+				"message kind %s has no //xflow:msg role annotation; declare which dispatch loop handles it", k.name)
+			continue
+		}
+		for _, r := range k.roles {
+			byRole[r] = append(byRole[r], k)
+		}
+	}
+
+	dispatched := make(map[string]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			d := fx.forNode(sw, "dispatch")
+			if d == nil {
+				return true
+			}
+			if len(d.args) == 0 {
+				pass.Reportf(sw.Pos(), "msgexhaustive", "//xflow:dispatch needs a role name")
+				return true
+			}
+			role := d.args[0]
+			dispatched[role] = true
+			checkDispatch(pass, sw, role, byRole[role], kindByName)
+			return true
+		})
+	}
+
+	roles := make([]string, 0, len(byRole))
+	for r := range byRole {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		if !dispatched[r] {
+			k := byRole[r][0]
+			pass.Reportf(k.pos, "msgexhaustive",
+				"role %q (first used by %s) has no //xflow:dispatch switch in this package", r, k.name)
+		}
+	}
+}
+
+// checkDispatch verifies one annotated type switch against the kinds of
+// its role.
+func checkDispatch(pass *Pass, sw *ast.TypeSwitchStmt, role string, kinds []*msgKind, kindByName map[string]*msgKind) {
+	handled := make(map[types.Object]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			if obj := caseTypeObj(pass, expr); obj != nil {
+				handled[obj] = true
+			}
+		}
+	}
+
+	// //xflow:unhandled directives inside the switch body (by
+	// convention in the default clause) excuse listed kinds.
+	excused := make(map[string]bool)
+	for _, d := range pass.Facts.within(sw.Pos(), sw.End(), "unhandled") {
+		if len(d.args) == 0 {
+			pass.Reportf(d.pos, "msgexhaustive", "//xflow:unhandled needs a kind list")
+			continue
+		}
+		if d.reasonAfter(1) == "" {
+			pass.Reportf(d.pos, "msgexhaustive",
+				"//xflow:unhandled needs a reason: say why the %s dispatch drops these kinds", role)
+		}
+		for _, name := range splitList(d.args[0]) {
+			k := kindByName[name]
+			if k == nil {
+				pass.Reportf(d.pos, "msgexhaustive",
+					"//xflow:unhandled lists unknown message kind %s", name)
+				continue
+			}
+			if handled[k.obj] {
+				pass.Reportf(d.pos, "msgexhaustive",
+					"stale //xflow:unhandled: the %s dispatch has a case for %s", role, name)
+				continue
+			}
+			if !hasRole(k, role) {
+				pass.Reportf(d.pos, "msgexhaustive",
+					"stale //xflow:unhandled: %s is not annotated for role %q", name, role)
+				continue
+			}
+			excused[name] = true
+		}
+	}
+
+	var missing []string
+	for _, k := range kinds {
+		if k.obj == nil || handled[k.obj] || excused[k.name] {
+			continue
+		}
+		missing = append(missing, k.name)
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "msgexhaustive",
+			"dispatch switch for role %q does not handle %s; add cases or an //xflow:unhandled directive with a reason",
+			role, strings.Join(missing, ", "))
+	}
+}
+
+// caseTypeObj resolves a case-clause type expression (T, *T, pkg.T) to
+// the named type's object.
+func caseTypeObj(pass *Pass, expr ast.Expr) types.Object {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+func hasRole(k *msgKind, role string) bool {
+	for _, r := range k.roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}

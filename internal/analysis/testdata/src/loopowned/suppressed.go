@@ -1,0 +1,20 @@
+package fixture
+
+// drainStats reads a guarded counter locklessly for a best-effort
+// metrics snapshot; the annotation documents why that is tolerable.
+func (l *loop) drainStats() int {
+	//xflow:allow loopowned racy read is fine for a monitoring snapshot
+	return l.guarded
+}
+
+type errs struct {
+	// A bare annotation declares nothing enforceable.
+	//
+	//xflow:owned
+	bare int // want loopowned
+
+	// A domain nobody declares membership in can never be satisfied.
+	//
+	//xflow:owned ghost
+	orphan int // want loopowned
+}

@@ -1,0 +1,45 @@
+// Fixture: map iteration order flowing into ordering-sensitive sinks.
+package fixture
+
+import "fmt"
+
+type port struct{}
+
+func (port) Send(to string, v any)        {}
+func (port) SendMulti(to []string, v any) {}
+
+// directSend fans a message out per map entry: delivery order changes
+// run to run.
+func directSend(p port, m map[string]int) {
+	for k := range m { // want maporder
+		p.Send(k, 1)
+	}
+}
+
+// collectThenSend launders the order through a slice that is handed to
+// a sink unsorted.
+func collectThenSend(p port, m map[string]int) {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	p.SendMulti(keys, "payload")
+}
+
+// collectThenLoopSend ranges the unsorted collection with a send inside.
+func collectThenLoopSend(p port, m map[string]int) {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		p.Send(k, 2)
+	}
+}
+
+// printPerEntry writes output lines in map order.
+func printPerEntry(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,52 @@
+package fixture
+
+import "sort"
+
+// sortedFanout is the canonical fix: collect, sort, then send.
+func sortedFanout(p port, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.Send(k, m[k])
+	}
+}
+
+// sortSliceFanout sorts with a comparator before the sink sees it.
+func sortSliceFanout(p port, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	p.SendMulti(keys, "payload")
+}
+
+// commutative map iteration (a sum) has no observable order.
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceFanout ranges a slice, not a map: the order is the caller's.
+func sliceFanout(p port, keys []string) {
+	for _, k := range keys {
+		p.Send(k, 1)
+	}
+}
+
+// loopLocal collects into a slice that never leaves the loop statement.
+func loopLocal(m map[string][]string) int {
+	n := 0
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

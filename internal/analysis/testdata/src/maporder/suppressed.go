@@ -1,0 +1,10 @@
+package fixture
+
+// purgeAll notifies every holder of a revoked key; deliveries are
+// idempotent and order-free, so the suppression is legitimate.
+func purgeAll(p port, holders map[string]bool) {
+	//xflow:allow maporder purge notices are idempotent, order irrelevant
+	for h := range holders {
+		p.Send(h, "purge")
+	}
+}

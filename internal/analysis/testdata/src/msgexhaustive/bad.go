@@ -1,0 +1,32 @@
+// Fixture: protocol annotations with holes the analyzer must find.
+package fixture
+
+//xflow:msg alpha
+type MsgAlphaOne struct{}
+
+// MsgAlphaTwo is annotated for alpha but the dispatch below has no case
+// for it and no //xflow:unhandled entry.
+//
+//xflow:msg alpha
+type MsgAlphaTwo struct{}
+
+//xflow:msg alpha
+type MsgAlphaThree struct{}
+
+// MsgOrphan's role is dispatched nowhere in this package.
+//
+//xflow:msg orphan
+type MsgOrphan struct{} // want msgexhaustive
+
+// MsgNoRole joined the protocol without declaring a handler role.
+type MsgNoRole struct{} // want msgexhaustive
+
+func dispatchAlpha(v any) {
+	//xflow:dispatch alpha
+	switch v.(type) { // want msgexhaustive
+	case MsgAlphaOne:
+	case MsgAlphaThree:
+	default:
+		//xflow:unhandled MsgAlphaThree stale entry, the case above handles it // want msgexhaustive
+	}
+}

@@ -1,0 +1,44 @@
+package fixture
+
+//xflow:msg beta
+type MsgBetaOne struct{}
+
+//xflow:msg beta
+type MsgBetaTwo struct{}
+
+// MsgBetaLegacy is deliberately dropped by the beta dispatch, with a
+// documented reason.
+//
+//xflow:msg beta
+type MsgBetaLegacy struct{}
+
+// msgBetaInternal exercises the unexported msg* naming convention and
+// a multi-role annotation.
+//
+//xflow:msg beta,gamma
+type msgBetaInternal struct{}
+
+func dispatchBeta(v any) {
+	//xflow:dispatch beta
+	switch v.(type) {
+	case MsgBetaOne:
+	case *MsgBetaTwo: // a pointer case still handles the kind
+	case msgBetaInternal:
+	default:
+		//xflow:unhandled MsgBetaLegacy superseded by MsgBetaTwo, kept for wire compatibility
+	}
+}
+
+func dispatchGamma(v any) {
+	//xflow:dispatch gamma
+	switch v.(type) {
+	case msgBetaInternal:
+	}
+}
+
+// MessageCount is not a message type: no Msg prefix, never checked.
+type MessageCount struct{}
+
+// Msgless has the prefix but no upper-case kind name after it, so it is
+// outside the naming convention.
+type Msgless struct{}

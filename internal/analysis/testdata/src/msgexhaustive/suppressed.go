@@ -1,0 +1,7 @@
+package fixture
+
+// MsgSuppressed lacks a role annotation but carries an explicit allow —
+// e.g. a kind still being migrated into the protocol tables.
+//
+//xflow:allow msgexhaustive migration in progress, role lands with the handler PR
+type MsgSuppressed struct{}

@@ -1,0 +1,33 @@
+// Fixture for the stale-suppression audit. No "// want" markers here:
+// the audit runs only on module checks (Check), not CheckDir, so the
+// expectations live in TestStaleSuppressionAudit, which drives
+// checkPackage with auditing on.
+package fixture
+
+import "fmt"
+
+type port struct{}
+
+func (port) Send(to string, v any) {}
+
+// live: the allow suppresses a real maporder finding and must not be
+// called stale.
+func live(p port, m map[string]int) {
+	//xflow:allow maporder deliveries are idempotent
+	for k := range m {
+		p.Send(k, 1)
+	}
+}
+
+// stale: nothing fires on the line below; the allow is dead weight.
+func stale() {
+	//xflow:allow maporder nothing here ranges a map
+	fmt.Println("ok")
+}
+
+// inactiveRule: the walltime rule fires nothing here either, but it is
+// only audited when walltime is part of the analyzer set.
+func inactiveRule() {
+	//xflow:allow walltime legacy comment kept for the audit test
+	fmt.Println("ok")
+}

@@ -76,10 +76,10 @@ type Cluster struct {
 	defaultWF *Workflow
 
 	mu      sync.Mutex
-	wfs     map[string]*Workflow
-	members map[string]*clusterMember
-	order   []string
-	started bool
+	wfs     map[string]*Workflow      //xflow:owned mu=mu
+	members map[string]*clusterMember //xflow:owned mu=mu
+	order   []string                  //xflow:owned mu=mu
+	started bool                      //xflow:owned mu=mu
 }
 
 // newCluster assembles the shared substrate of both modes. The
@@ -138,8 +138,13 @@ func newCluster(cfg ClusterConfig, batch *batchSpec) (*Cluster, error) {
 		ep := bus.Register(st.Spec.Name, st.Spec.Link)
 		w := newWorker(clk, ep, defaultWF, st, cfg.Hub, cfg.NewAgent(st))
 		w.SetWorkflowResolver(c.workflowFor)
+		// Construction is single-threaded, but members/order are
+		// mu-guarded everywhere else; holding the lock here keeps the
+		// ownership rule uniform (and loopowned-checkable) at no cost.
+		c.mu.Lock()
 		c.members[w.name] = &clusterMember{st: st, w: w, before: snapshotWorker(st)}
 		c.order = append(c.order, w.name)
+		c.mu.Unlock()
 	}
 	return c, nil
 }

@@ -40,25 +40,25 @@ type Master struct {
 	def *session
 	// sessions maps open session IDs; sessionList keeps deterministic
 	// insertion order for shutdown flushes.
-	sessions    map[string]*session
-	sessionList []*session
+	sessions    map[string]*session //xflow:owned master-loop
+	sessionList []*session          //xflow:owned master-loop
 	// cur is the session context of the event being handled, so
 	// counters raised from inside allocator callbacks (CountFallback)
 	// land on the right session.
-	cur *session
+	cur *session //xflow:owned master-loop
 	// ready flips once the initial expectedWorkers quorum registered;
 	// registrations after that are mid-run joins.
-	ready    bool
+	ready    bool //xflow:owned master-loop
 	readyAck vclock.Mailbox
 	// drains holds the acks to deliver when each draining worker's
 	// MsgLeave arrives.
-	drains map[string][]vclock.Mailbox
+	drains map[string][]vclock.Mailbox //xflow:owned master-loop
 
-	records   map[string]*JobRecord
-	order     []string
-	workers   []string
-	workerSet map[string]bool
-	nextID    int
+	records   map[string]*JobRecord //xflow:owned master-loop
+	order     []string              //xflow:owned master-loop
+	workers   []string              //xflow:owned master-loop
+	workerSet map[string]bool       //xflow:owned master-loop
+	nextID    int                   //xflow:owned master-loop
 
 	aborted  bool
 	finished bool
@@ -69,6 +69,8 @@ type Master struct {
 // global math/rand generator, so identically-seeded runs replay
 // identically. A nil rng falls back to a seed-0 source rather than
 // crashing.
+//
+//xflow:goroutine master-loop
 func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 	arrivals []Arrival, expectedWorkers int, rng *rand.Rand) *Master {
 	if rng == nil {
@@ -111,6 +113,8 @@ func NewMaster(clk vclock.Clock, port Port, alloc Allocator, wf *Workflow,
 // sessions start flowing (zero means "ready immediately"); workers
 // registering after the quorum are mid-run joins and are announced to
 // the allocator via WorkerJoined.
+//
+//xflow:goroutine master-loop
 func NewClusterMaster(clk vclock.Clock, port Port, alloc Allocator,
 	expectedWorkers int, rng *rand.Rand) *Master {
 	m := newMaster(clk, port, alloc, nil, nil, expectedWorkers, rng)
@@ -156,6 +160,8 @@ func (m *Master) Run() { m.run() }
 // scheduling counters) for the batch session. Worker-side cache and
 // data-load counters are zero; distributed deployments collect those on
 // the worker processes.
+//
+//xflow:goroutine master-loop
 func (m *Master) Report() *Report {
 	s := m.def
 	rep := &Report{
@@ -219,6 +225,8 @@ func (m *Master) Inject(payload any) {
 }
 
 // run is the master actor loop. It returns when the workflow completes.
+//
+//xflow:goroutine master-loop
 func (m *Master) run() {
 	for {
 		v, ok := m.ep.Inbox().Recv()
@@ -236,6 +244,7 @@ func (m *Master) run() {
 }
 
 func (m *Master) handle(env *broker.Envelope) (done bool) {
+	//xflow:dispatch master
 	switch msg := env.Payload.(type) {
 	case MsgRegister:
 		m.onRegister(msg.Worker)
@@ -650,6 +659,8 @@ func (m *Master) Clock() vclock.Clock { return m.clk }
 // the internal slice in place, so handing out the alias would let a
 // death mutate a list an allocator captured earlier (e.g. a contest's
 // expected-bidder set shrinking underneath it).
+//
+//xflow:goroutine master-loop
 func (m *Master) Workers() []string {
 	out := make([]string, len(m.workers))
 	copy(out, m.workers)
@@ -657,6 +668,8 @@ func (m *Master) Workers() []string {
 }
 
 // Job implements AllocCtx.
+//
+//xflow:goroutine master-loop
 func (m *Master) Job(id string) *Job {
 	if rec, ok := m.records[id]; ok {
 		return rec.Job
@@ -665,6 +678,8 @@ func (m *Master) Job(id string) *Job {
 }
 
 // Assign implements AllocCtx: unconditional allocation to a worker.
+//
+//xflow:goroutine master-loop
 func (m *Master) Assign(jobID, worker string, est time.Duration) {
 	rec := m.records[jobID]
 	if rec == nil || rec.Status == StatusFinished || rec.Status == StatusQueued {
@@ -682,6 +697,8 @@ func (m *Master) Assign(jobID, worker string, est time.Duration) {
 }
 
 // Offer implements AllocCtx: propose a job, worker may decline.
+//
+//xflow:goroutine master-loop
 func (m *Master) Offer(jobID, worker string) {
 	rec := m.records[jobID]
 	if rec == nil || rec.Status == StatusFinished {
@@ -704,11 +721,15 @@ func (m *Master) sessOf(rec *JobRecord) *session {
 }
 
 // SendNoWork implements AllocCtx.
+//
+//xflow:goroutine master-loop
 func (m *Master) SendNoWork(worker string, backoff time.Duration) {
 	m.ep.Send(worker, MsgNoWork{Backoff: backoff})
 }
 
 // PublishBidRequest implements AllocCtx.
+//
+//xflow:goroutine master-loop
 func (m *Master) PublishBidRequest(jobID string) int {
 	rec := m.records[jobID]
 	if rec == nil {
@@ -734,6 +755,8 @@ type multiSender interface {
 // are skipped; the trace records one contest event per reached target
 // (Node = target), so trace consumers can check assignments against the
 // contested set.
+//
+//xflow:goroutine master-loop
 func (m *Master) PublishBidRequestTo(jobID string, workers []string) int {
 	rec := m.records[jobID]
 	if rec == nil || len(workers) == 0 {
@@ -783,4 +806,6 @@ func (m *Master) Rand() *rand.Rand { return m.rng }
 
 // CountFallback lets allocators record an arbitrary (no-bid) assignment.
 // It lands on the session of the event being handled.
+//
+//xflow:goroutine master-loop
 func (m *Master) CountFallback() { m.cur.fallbacks++ }

@@ -25,21 +25,29 @@ const MasterName = "master"
 // MsgRegister announces a worker to the master. Workers re-send it on
 // their heartbeat until the master acknowledges, so process start-up
 // order does not matter in distributed deployments.
+//
+//xflow:msg master
 type MsgRegister struct {
 	Worker string
 }
 
 // MsgRegisterAck confirms a registration; the worker's policy agent
 // starts only after it arrives.
+//
+//xflow:msg worker
 type MsgRegisterAck struct{}
 
 // MsgBidRequest opens a bidding contest for a job (Listing 1, line 3:
 // publishForBidding). Broadcast on TopicBids.
+//
+//xflow:msg worker
 type MsgBidRequest struct {
 	Job *Job
 }
 
 // MsgBid is a worker's submission in a contest (Listing 2, line 6).
+//
+//xflow:msg master
 type MsgBid struct {
 	JobID  string
 	Worker string
@@ -59,6 +67,8 @@ type MsgBid struct {
 
 // MsgAssign hands a job to a worker's queue (Listing 1, line 26:
 // worker.consumeJob).
+//
+//xflow:msg worker
 type MsgAssign struct {
 	Job *Job
 	// EstimatedCost lets the master communicate the winning estimate so
@@ -69,11 +79,15 @@ type MsgAssign struct {
 
 // MsgOffer proposes a job to a worker, which may accept or reject it
 // (the Baseline opinionated pull model, §4).
+//
+//xflow:msg worker
 type MsgOffer struct {
 	Job *Job
 }
 
 // MsgAccept is the worker's positive answer to an offer.
+//
+//xflow:msg master
 type MsgAccept struct {
 	JobID  string
 	Worker string
@@ -81,6 +95,8 @@ type MsgAccept struct {
 
 // MsgReject returns an offered job to the master "so another worker can
 // consider it".
+//
+//xflow:msg master
 type MsgReject struct {
 	JobID  string
 	Worker string
@@ -90,6 +106,8 @@ type MsgReject struct {
 // Strikes support locality-aware pull policies (Matchmaking): keys list
 // the worker's cached data, strikes how many consecutive empty
 // heartbeats it has waited.
+//
+//xflow:msg master
 type MsgRequestJob struct {
 	Worker     string
 	CachedKeys []string
@@ -98,6 +116,8 @@ type MsgRequestJob struct {
 
 // MsgNoWork tells a pulling worker the master has nothing suitable; the
 // worker retries after its heartbeat interval.
+//
+//xflow:msg worker
 type MsgNoWork struct {
 	// Backoff suggests how long to wait before the next pull; zero means
 	// the worker's default heartbeat.
@@ -110,6 +130,8 @@ type MsgNoWork struct {
 // for eviction notices (Worker.EnableEvictionNotices) — policies without
 // a location index never pay the extra traffic. Notices are advisory
 // and may be lost or reordered; the index self-corrects from later bids.
+//
+//xflow:msg master
 type MsgCacheEvict struct {
 	Worker string
 	Keys   []string
@@ -117,6 +139,8 @@ type MsgCacheEvict struct {
 
 // MsgJobDone reports a completed job together with the jobs the task
 // produced downstream (Listing 2, line 14: master.sendJob(newJob)).
+//
+//xflow:msg master
 type MsgJobDone struct {
 	JobID   string
 	Worker  string
@@ -130,29 +154,39 @@ type MsgJobDone struct {
 // MsgEmit carries a downstream job produced by a task that is still
 // running — stream-processing tasks emit results as they find them
 // rather than batching them into the final MsgJobDone.
+//
+//xflow:msg master
 type MsgEmit struct {
 	Job    *Job
 	Worker string
 }
 
 // MsgInject is the master's self-message carrying a scheduled arrival.
+//
+//xflow:msg master
 type MsgInject struct {
 	Job *Job
 }
 
 // MsgBidWindowExpired is the master's self-message closing a contest
 // after the bidding threshold (Listing 1, line 30).
+//
+//xflow:msg master
 type MsgBidWindowExpired struct {
 	JobID string
 }
 
 // MsgTick is a generic timer self-message for allocators that need
 // periodic work.
+//
+//xflow:msg master
 type MsgTick struct {
 	Token string
 }
 
 // MsgStop shuts a worker down after the workflow completes.
+//
+//xflow:msg worker
 type MsgStop struct{}
 
 // MsgDrain asks a worker to finish the jobs already in its queue, stop
@@ -160,17 +194,23 @@ type MsgStop struct{}
 // from the live set before sending it, so nothing new is assigned while
 // the queue empties; broker routes are FIFO, so every assignment sent
 // before the drain is in the queue by the time MsgDrain arrives.
+//
+//xflow:msg worker
 type MsgDrain struct{}
 
 // MsgLeave is a worker's goodbye: its queue is empty (graceful drain)
 // or abandoned (voluntary leave) and it will not send again. The master
 // redispatches anything still attributed to the worker.
+//
+//xflow:msg master
 type MsgLeave struct {
 	Worker string
 }
 
 // MsgWorkerDead is the master's self-message injected by fault-injection
 // hooks when a worker is declared lost.
+//
+//xflow:msg master
 type MsgWorkerDead struct {
 	Worker string
 }
@@ -179,6 +219,8 @@ type MsgWorkerDead struct {
 // expires: the master stops waiting for outstanding work, publishes the
 // stop signal, and Run reports ErrDeadlineExceeded. It never crosses the
 // broker, so it stays unexported.
+//
+//xflow:msg master
 type msgAbort struct{}
 
 // The messages below drive the long-lived cluster runtime. They are
@@ -186,9 +228,13 @@ type msgAbort struct{}
 // process, never serialized, so they stay unexported.
 
 // msgOpenSession announces a new workflow session to the master loop.
+//
+//xflow:msg master
 type msgOpenSession struct{ s *session }
 
 // msgSubmit feeds one job into an open session.
+//
+//xflow:msg master
 type msgSubmit struct {
 	s   *session
 	job *Job
@@ -196,10 +242,14 @@ type msgSubmit struct {
 
 // msgCloseFeed marks a session's submission feed closed; the session
 // completes once its outstanding jobs finish.
+//
+//xflow:msg master
 type msgCloseFeed struct{ s *session }
 
 // msgDrainStart begins a graceful drain of one worker. ack, when
 // non-nil, receives one value after the worker's MsgLeave is processed.
+//
+//xflow:msg master
 type msgDrainStart struct {
 	worker string
 	ack    vclock.Mailbox
@@ -208,4 +258,6 @@ type msgDrainStart struct {
 // msgShutdown stops a long-lived master: it publishes MsgStop to the
 // fleet, flushes reports to any sessions still waiting, and exits the
 // master loop.
+//
+//xflow:msg master
 type msgShutdown struct{}

@@ -247,7 +247,12 @@ func Run(cfg Config) (*Report, error) {
 		rep.Downloads += wr.Downloads
 	}
 	for _, st := range cfg.Workers {
-		addWorker(st, c.members[st.Spec.Name].before, c.members[st.Spec.Name].w)
+		// The cluster is quiescent here, but members is mu-guarded
+		// state; take the lock so the ownership rule holds uniformly.
+		c.mu.Lock()
+		mem := c.members[st.Spec.Name]
+		c.mu.Unlock()
+		addWorker(st, mem.before, mem.w)
 	}
 	for _, jr := range joiners {
 		addWorker(jr.st, jr.before, jr.w)

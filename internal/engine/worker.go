@@ -58,19 +58,19 @@ type Worker struct {
 	wfResolve func(session string) *Workflow
 
 	mu           sync.Mutex
-	queuedCosts  map[string]time.Duration
-	queuedTotal  time.Duration  // running sum of queuedCosts
-	pendingData  map[string]int // data keys unfinished queued jobs will fetch
-	currentJob   string
-	currentEst   time.Duration
-	currentStart time.Time
-	jobsDone     int
-	busy         time.Duration
-	killed       bool
-	stopped      bool
-	draining     bool
-	registered   bool
-	evictNotify  bool
+	queuedCosts  map[string]time.Duration //xflow:owned mu=mu
+	queuedTotal  time.Duration            //xflow:owned mu=mu (running sum of queuedCosts)
+	pendingData  map[string]int           //xflow:owned mu=mu (data keys unfinished queued jobs will fetch)
+	currentJob   string                   //xflow:owned mu=mu
+	currentEst   time.Duration            //xflow:owned mu=mu
+	currentStart time.Time                //xflow:owned mu=mu
+	jobsDone     int                      //xflow:owned mu=mu
+	busy         time.Duration            //xflow:owned mu=mu
+	killed       bool                     //xflow:owned mu=mu
+	stopped      bool                     //xflow:owned mu=mu
+	draining     bool                     //xflow:owned mu=mu
+	registered   bool                     //xflow:owned mu=mu
+	evictNotify  bool                     //xflow:owned mu=mu
 }
 
 // WorkerSpec configures one worker node.
@@ -228,6 +228,7 @@ func (w *Worker) commsLoop() {
 		if !ok {
 			continue
 		}
+		//xflow:dispatch worker
 		switch msg := env.Payload.(type) {
 		case MsgRegisterAck:
 			w.mu.Lock()
