@@ -40,6 +40,17 @@ type Envelope struct {
 	SentAt time.Time
 }
 
+// EventDetail renders a queued envelope for vclock.MailboxDigest: its
+// route (or topic) and payload, by content when the payload describes
+// itself.
+func (env *Envelope) EventDetail() string {
+	dst := env.To
+	if env.Topic != "" {
+		dst = env.Topic
+	}
+	return env.From + ">" + dst + " " + payloadDetail(env.Payload)
+}
+
 // DelayFunc computes the one-way delivery delay for a message from one
 // endpoint to another. Implementations may add jitter; they are called
 // under the broker lock and must not block.
@@ -83,6 +94,11 @@ type Stats struct {
 type Broker struct {
 	clk   vclock.Clock
 	delay DelayFunc
+	// labeled is non-nil only when clk is a simulated clock with a model
+	// checker's chooser installed; delivery events then carry route
+	// labels. Decided once at construction so the delivery hot path pays
+	// a single nil check in normal runs.
+	labeled *vclock.Sim
 
 	mu        sync.Mutex
 	drop      DropFunc
@@ -97,6 +113,7 @@ func New(clk vclock.Clock) *Broker {
 	return &Broker{
 		clk:       clk,
 		delay:     defaultDelay,
+		labeled:   vclock.ActiveLabeled(clk),
 		endpoints: make(map[string]*Endpoint),
 		topics:    make(map[string][]*Endpoint),
 	}
@@ -352,7 +369,29 @@ func (b *Broker) deliver(dst *Endpoint, env *Envelope, d time.Duration) {
 		dst.inbox.Send(env)
 		return
 	}
+	if b.labeled != nil {
+		b.labeled.AfterFuncLabeled(d, deliveryLabel(env, dst.name), func() { dst.inbox.Send(env) })
+		return
+	}
 	b.clk.AfterFunc(d, func() { dst.inbox.Send(env) })
+}
+
+// deliveryLabel describes one in-flight delivery to the model checker.
+// The route is the serialization class: messages between the same pair
+// of endpoints stay FIFO (their deadlines share the route skew and the
+// timer sequence is monotone), while different routes interleave
+// freely. The receiver is the conflict domain — two deliveries to
+// different nodes commute.
+func deliveryLabel(env *Envelope, to string) vclock.EventLabel {
+	route := env.From + ">" + to
+	return vclock.EventLabel{Class: route, Node: to, Detail: route + " " + payloadDetail(env.Payload)}
+}
+
+func payloadDetail(p any) string {
+	if d, ok := p.(interface{ EventDetail() string }); ok {
+		return d.EventDetail()
+	}
+	return fmt.Sprintf("%T", p)
 }
 
 // subscribe adds ep to topic, keeping the subscriber list name-sorted.

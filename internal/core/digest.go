@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crossflow/internal/engine"
+)
+
+// State digests for the model checker (internal/modelcheck): each
+// allocator that keeps protocol state between events renders it in a
+// canonical order so two exploration paths reaching the same state
+// produce byte-identical fingerprints. Bid lists keep arrival order —
+// it is part of the state (stable sort ties resolve by it) — while
+// map-keyed collections are emitted sorted.
+
+// StateDigest implements engine.StateDigester.
+func (b *BiddingAllocator) StateDigest() string {
+	var out strings.Builder
+	writeContests(&out, contestIDs(b.contests), func(id string) (int, map[string]bool, []engine.MsgBid) {
+		c := b.contests[id]
+		return c.expected, nil, c.bids
+	})
+	return out.String()
+}
+
+// StateDigest implements engine.StateDigester.
+func (b *TopKAllocator) StateDigest() string {
+	b.init()
+	var out strings.Builder
+	writeContests(&out, contestIDs(b.contests), func(id string) (int, map[string]bool, []engine.MsgBid) {
+		c := b.contests[id]
+		return c.expected, c.targets, c.bids
+	})
+	ids := make([]string, 0, len(b.assignedCost))
+	for id := range b.assignedCost {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&out, "cost %s=%d\n", id, b.assignedCost[id])
+	}
+	out.WriteString(b.index.Digest())
+	return out.String()
+}
+
+// contestIDs returns a contest map's job IDs in sorted order.
+func contestIDs[V any](m map[string]V) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// writeContests renders each open contest: expectation, target set
+// (nil for broadcast), and bids in arrival order.
+func writeContests(out *strings.Builder, ids []string, get func(id string) (int, map[string]bool, []engine.MsgBid)) {
+	for _, id := range ids {
+		expected, targets, bids := get(id)
+		fmt.Fprintf(out, "contest %s exp=%d", id, expected)
+		if targets != nil {
+			names := make([]string, 0, len(targets))
+			for w := range targets {
+				names = append(names, w)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(out, " targets=%s", strings.Join(names, ","))
+		}
+		for _, bid := range bids {
+			fmt.Fprintf(out, " bid=%s:%d:%d:%t", bid.Worker, bid.Estimate, bid.JobCost, bid.Local)
+		}
+		out.WriteByte('\n')
+	}
+}

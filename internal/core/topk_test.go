@@ -268,3 +268,88 @@ func TestTopKPolicyRegistered(t *testing.T) {
 		t.Errorf("agent name = %q", got)
 	}
 }
+
+// TestTopKStaleHoldersDieMidContestFallsBack: the index believes two
+// workers hold the data, both die after the targeted contest went out,
+// and the remaining candidates never bid. The window expiry must then
+// fall back to an accounted broadcast — exactly one fallback — and the
+// dead workers must be scrubbed from both the holder sets and the load
+// sketch, so the next plan can't target the corpses again.
+func TestTopKStaleHoldersDieMidContestFallsBack(t *testing.T) {
+	ctx := newFakeCtx("h0", "h1", "w2", "w3", "w4")
+	b := NewTopK()
+	b.Index().AddHolder("r", "h0")
+	b.Index().AddHolder("r", "h1")
+	b.Index().SetLoad("h0", time.Second)
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	if len(ctx.targeted) != 1 {
+		t.Fatalf("targeted = %v, want one targeted contest", ctx.targeted)
+	}
+
+	b.WorkerLost(ctx, "h0", nil)
+	b.WorkerLost(ctx, "h1", nil)
+	if b.Index().HolderCount("r") != 0 {
+		t.Fatalf("dead holders still indexed: %v", b.Index().Holders("r", 0))
+	}
+	if b.Index().Load("h0") != 0 {
+		t.Fatalf("dead worker kept a load-sketch entry: %v", b.Index().Load("h0"))
+	}
+	if ctx.fallbacks != 0 {
+		t.Fatalf("fallback counted before the window closed: %d", ctx.fallbacks)
+	}
+
+	// Surviving candidates stayed silent: the expiry reopens as broadcast.
+	b.BidWindowExpired(ctx, "j1")
+	if len(ctx.published) != 1 || ctx.published[0] != "j1" {
+		t.Fatalf("published = %v, want broadcast fallback for j1", ctx.published)
+	}
+	if ctx.fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want exactly 1", ctx.fallbacks)
+	}
+	if len(ctx.assigns) != 0 {
+		t.Fatalf("assigned before the broadcast round: %v", ctx.assigns)
+	}
+}
+
+// TestTopKSurvivorBidClosesWithoutFallback is the accounting converse:
+// when the stale holders die but a live candidate's bid satisfies the
+// shrunken expectation, the contest closes normally and the fallback
+// counter must NOT move.
+func TestTopKSurvivorBidClosesWithoutFallback(t *testing.T) {
+	ctx := newFakeCtx("h0", "h1", "w2", "w3", "w4")
+	b := NewTopK()
+	b.Index().AddHolder("r", "h0")
+	b.Index().AddHolder("r", "h1")
+	b.JobReady(ctx, ctx.addJob("j1", "r", 100))
+	if len(ctx.targeted) != 1 {
+		t.Fatalf("targeted = %v, want one targeted contest", ctx.targeted)
+	}
+	survivors := make(map[string]bool)
+	for _, w := range ctx.targeted[0].workers {
+		if w != "h0" && w != "h1" {
+			survivors[w] = true
+		}
+	}
+	if len(survivors) == 0 {
+		t.Fatalf("candidate set %v has no live top-up", ctx.targeted[0].workers)
+	}
+
+	b.WorkerLost(ctx, "h0", nil)
+	b.WorkerLost(ctx, "h1", nil)
+	for w := range survivors {
+		b.BidReceived(ctx, engine.MsgBid{JobID: "j1", Worker: w,
+			Estimate: time.Second, JobCost: time.Second, Local: false})
+	}
+	if len(ctx.assigns) != 1 {
+		t.Fatalf("assigns = %v, want the surviving bidder to win", ctx.assigns)
+	}
+	if !survivors[ctx.assigns[0].worker] {
+		t.Fatalf("winner %q is not a surviving candidate", ctx.assigns[0].worker)
+	}
+	if ctx.fallbacks != 0 {
+		t.Fatalf("fallbacks = %d, want 0 — the contest closed on a real bid", ctx.fallbacks)
+	}
+	if len(ctx.published) != 0 {
+		t.Fatalf("broadcast opened despite a successful targeted close: %v", ctx.published)
+	}
+}

@@ -136,6 +136,187 @@ func joinerJobs(t *testing.T, rep *engine.Report) int {
 	return n
 }
 
+// redispatchEvents filters a trace down to the redispatch records.
+func redispatchEvents(trace *engine.TraceLog) []engine.TraceEvent {
+	var out []engine.TraceEvent
+	for _, ev := range trace.Events() {
+		if ev.Kind == engine.TraceRedispatch {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestClusterDrainWhileContestInFlight drains a worker while a bid
+// window for freshly submitted jobs is still open. The drained worker
+// must win none of the racing contests, every job must still complete
+// exactly once, and the rescueStranded invariant must hold end to end:
+// the session's Redispatched counter equals the trace's redispatch
+// events, and each such event names the departed worker.
+func TestClusterDrainWhileContestInFlight(t *testing.T) {
+	clk := vclock.NewSim()
+	trace := engine.NewTraceLog()
+	c, err := engine.NewCluster(engine.ClusterConfig{
+		Clock:     clk,
+		Workers:   testCluster(3, 20, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Tracer:    trace,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+
+	var rep *engine.Report
+	clk.Go(func() {
+		c.WaitReady()
+		sess, err := c.Open("drain-race", namedWorkflow("drain-race", "D:"))
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		// First wave lands and keeps the fleet (including w1) busy.
+		for i := 0; i < 4; i++ {
+			sess.Submit(&engine.Job{ID: fmt.Sprintf("d%d", i), Stream: "work",
+				DataKey: fmt.Sprintf("rd%d", i), DataSizeMB: 40})
+		}
+		clk.Sleep(300 * time.Millisecond)
+		// Second wave opens fresh contests, and the drain races them: the
+		// master pulls w1 from the live set while the bid windows are open.
+		for i := 4; i < 7; i++ {
+			sess.Submit(&engine.Job{ID: fmt.Sprintf("d%d", i), Stream: "work",
+				DataKey: fmt.Sprintf("rd%d", i), DataSizeMB: 40})
+		}
+		c.Drain("w1")
+		sess.Close()
+		rep = sess.Wait()
+		c.Stop()
+	})
+	clk.Wait()
+
+	if rep == nil {
+		t.Fatal("session report missing")
+	}
+	if rep.JobsCompleted != 7 {
+		t.Errorf("JobsCompleted = %d, want 7 despite the racing drain", rep.JobsCompleted)
+	}
+	finishes := make(map[string]int)
+	for _, ev := range trace.Events() {
+		if ev.Kind == engine.TraceFinished {
+			finishes[ev.JobID]++
+		}
+	}
+	for id, rec := range rep.Records {
+		if rec.Status != engine.StatusFinished || rec.Worker == "" {
+			t.Errorf("job %s ended status=%v worker=%q", id, rec.Status, rec.Worker)
+		}
+		if finishes[id] != 1 {
+			t.Errorf("job %s finished %d times, want exactly once", id, finishes[id])
+		}
+	}
+	// The rescueStranded accounting invariant: every redispatch in the
+	// trace is attributed to the one departed worker, and the session
+	// counter agrees with the trace.
+	redis := redispatchEvents(trace)
+	if rep.Redispatched != len(redis) {
+		t.Errorf("Redispatched = %d but trace has %d redispatch events", rep.Redispatched, len(redis))
+	}
+	for _, ev := range redis {
+		if ev.Node != "w1" {
+			t.Errorf("redispatch of %s attributed to live worker %q", ev.JobID, ev.Node)
+		}
+	}
+}
+
+// TestClusterJoinImmediatelyLeave joins a fast worker holding the hot
+// data, lets it win the wave, then yanks it with Leave while its queue
+// is full — operationally a controlled crash moments after joining.
+// Every stranded job must be redispatched to the survivors and complete
+// exactly once, with the Redispatched counter matching the trace.
+func TestClusterJoinImmediatelyLeave(t *testing.T) {
+	clk := vclock.NewSim()
+	trace := engine.NewTraceLog()
+	joiner := engine.NewWorkerState(engine.WorkerSpec{
+		Name: "wj",
+		Net:  netsim.Speed{BaseMBps: 20},
+		RW:   netsim.Speed{BaseMBps: 50}, // 1s per hot job: busy at Leave time
+		Seed: 99,
+	}, nil)
+	joiner.Cache.Put("hotJ", 50)
+
+	c, err := engine.NewCluster(engine.ClusterConfig{
+		Clock:     clk,
+		Workers:   testCluster(2, 20, 100, 0),
+		Allocator: core.NewBidding(),
+		NewAgent:  func(*engine.WorkerState) engine.Agent { return core.NewBiddingAgent() },
+		Tracer:    trace,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	c.Start()
+
+	var rep *engine.Report
+	clk.Go(func() {
+		c.WaitReady()
+		sess, err := c.Open("join-leave", namedWorkflow("join-leave", "J:"))
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		if _, err := c.Join(joiner); err != nil {
+			t.Errorf("Join: %v", err)
+			return
+		}
+		// One beat for the registration, then the wave the joiner's hot
+		// cache wins: it holds hotJ, the initial fleet would pay a 2.5s
+		// download, so every contest goes to wj.
+		clk.Sleep(100 * time.Millisecond)
+		for i := 0; i < 3; i++ {
+			sess.Submit(&engine.Job{ID: fmt.Sprintf("h%d", i), Stream: "work",
+				DataKey: "hotJ", DataSizeMB: 50})
+		}
+		// Leave mid-execution: the first job is running on wj (1s each),
+		// the rest sit in its queue. All of them must be rescued.
+		clk.Sleep(500 * time.Millisecond)
+		c.Leave("wj")
+		sess.Close()
+		rep = sess.Wait()
+		c.Stop()
+	})
+	clk.Wait()
+
+	if rep == nil {
+		t.Fatal("session report missing")
+	}
+	if rep.JobsCompleted != 3 {
+		t.Errorf("JobsCompleted = %d, want 3 despite the leave", rep.JobsCompleted)
+	}
+	for id, rec := range rep.Records {
+		if rec.Status != engine.StatusFinished {
+			t.Errorf("job %s ended in status %v", id, rec.Status)
+		}
+		if rec.Worker == "wj" {
+			t.Errorf("job %s still attributed to the departed joiner", id)
+		}
+	}
+	redis := redispatchEvents(trace)
+	if rep.Redispatched != len(redis) {
+		t.Errorf("Redispatched = %d but trace has %d redispatch events", rep.Redispatched, len(redis))
+	}
+	// The joiner had won the whole wave when it left, so the rescue is
+	// non-trivial: at least the running job was stranded on it.
+	if rep.Redispatched == 0 {
+		t.Error("leave stranded no work: the scenario lost its race, redispatch path untested")
+	}
+	for _, ev := range redis {
+		if ev.Node != "wj" {
+			t.Errorf("redispatch of %s attributed to %q, want the departed wj", ev.JobID, ev.Node)
+		}
+	}
+}
+
 // TestRunWithJoinSchedulesMidRunScaleUp exercises the batch wrapper's
 // elastic path: a joiner entering mid-run appears in the report and
 // takes real work off the initial fleet.

@@ -31,6 +31,13 @@ type Master struct {
 	expectedWorkers int
 	rng             *rand.Rand
 	tracer          Tracer
+	// labeled is non-nil only under a model-checking chooser (see
+	// vclock.ActiveLabeled); the master's self-timers then carry labels.
+	labeled *vclock.Sim
+	// staleBidBug re-introduces the PR-2 stale dead-worker-bid bug (a
+	// bid from a dead worker may win its contest). Test-only: it exists
+	// so the model checker's counterexample path stays demonstrable.
+	staleBidBug bool
 
 	// autoStop distinguishes batch mode (exit when the default session
 	// completes) from cluster mode (run until Shutdown).
@@ -58,7 +65,15 @@ type Master struct {
 	order     []string              //xflow:owned master-loop
 	workers   []string              //xflow:owned master-loop
 	workerSet map[string]bool       //xflow:owned master-loop
-	nextID    int                   //xflow:owned master-loop
+	// dead tombstones every worker that has died or left, so a
+	// registration that was in flight when its sender was declared dead
+	// cannot resurrect it. Found by the model checker: a kill landing
+	// before the victim's MsgRegister arrived let the corpse register,
+	// win a zero-bid fallback assignment, and strand the job forever
+	// (fuzzing never sees this — generated kills deliberately stay clear
+	// of the registration handshake).
+	dead   map[string]bool //xflow:owned master-loop
+	nextID int             //xflow:owned master-loop
 
 	aborted  bool
 	finished bool
@@ -78,6 +93,7 @@ func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 	}
 	m := &Master{
 		clk:             clk,
+		labeled:         vclock.ActiveLabeled(clk),
 		ep:              ep,
 		alloc:           alloc,
 		arrivals:        arrivals,
@@ -92,6 +108,7 @@ func newMaster(clk vclock.Clock, ep Port, alloc Allocator, wf *Workflow,
 		records:   make(map[string]*JobRecord, len(arrivals)),
 		order:     make([]string, 0, len(arrivals)),
 		workerSet: make(map[string]bool),
+		dead:      make(map[string]bool),
 	}
 	m.cur = m.def
 	return m
@@ -256,7 +273,7 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 		// the contest: the assignment would go to a closed endpoint and the
 		// job would be stranded until the next kill of that worker (which
 		// never comes). Found by simtest fuzzing (seed 438).
-		if m.workerSet[msg.Worker] {
+		if m.workerSet[msg.Worker] || m.staleBidBug {
 			m.sessFor(msg.JobID).bids++
 			m.alloc.BidReceived(m, msg)
 		}
@@ -384,6 +401,13 @@ func (m *Master) flushWaiters() {
 }
 
 func (m *Master) onRegister(worker string) {
+	if m.dead[worker] {
+		// The worker died before its registration arrived; acking it
+		// would add a corpse to the live set, and every job it then won
+		// would strand (its death was already processed — no later
+		// MsgWorkerDead will rescue them).
+		return
+	}
 	m.ep.Send(worker, MsgRegisterAck{})
 	if m.workerSet[worker] {
 		return
@@ -397,10 +421,30 @@ func (m *Master) onRegister(worker string) {
 		m.alloc.WorkerJoined(m, worker)
 		return
 	}
-	if len(m.workers) < m.expectedWorkers {
+	if len(m.workers) >= m.expectedWorkers {
+		m.becomeReady()
+	}
+}
+
+// shrinkQuorum lowers the fleet-formation bar by one expected worker —
+// called when a worker dies or drains away before the fleet formed, so
+// the remaining registrations can still complete the quorum instead of
+// waiting forever for one that can never arrive. After ready it is a
+// no-op (the quorum has served its purpose).
+func (m *Master) shrinkQuorum() {
+	if m.ready {
 		return
 	}
-	// The initial quorum is present.
+	m.expectedWorkers--
+	if len(m.workers) >= m.expectedWorkers {
+		m.becomeReady()
+	}
+}
+
+// becomeReady settles fleet formation: the initial quorum is present
+// (or has stopped being reachable — a worker that dies before
+// registering shrinks the quorum rather than stalling it forever).
+func (m *Master) becomeReady() {
 	m.ready = true
 	if m.readyAck != nil {
 		m.readyAck.Send(struct{}{})
@@ -412,7 +456,7 @@ func (m *Master) onRegister(worker string) {
 		s.startTime = m.clk.Now()
 		for _, arr := range m.arrivals {
 			arr := arr
-			m.clk.AfterFunc(arr.At, func() { m.Inject(MsgInject{Job: arr.Job}) })
+			m.afterFunc(arr.At, "arrival "+arr.Job.ID, func() { m.Inject(MsgInject{Job: arr.Job}) })
 		}
 	}
 }
@@ -500,7 +544,15 @@ func (m *Master) onJobDone(msg MsgJobDone) {
 }
 
 func (m *Master) onWorkerDead(worker string) {
+	first := !m.dead[worker]
+	m.dead[worker] = true
 	if !m.workerSet[worker] {
+		// Died before its registration arrived (which onRegister will now
+		// refuse): an expected initial worker that can never register must
+		// also stop holding up the quorum.
+		if first {
+			m.shrinkQuorum()
+		}
 		return
 	}
 	delete(m.workerSet, worker)
@@ -510,6 +562,9 @@ func (m *Master) onWorkerDead(worker string) {
 			break
 		}
 	}
+	// A pre-ready death un-counts a registration the quorum had already
+	// banked, so the bar drops with it.
+	m.shrinkQuorum()
 	var inflight []*Job
 	for _, id := range m.order {
 		rec := m.records[id]
@@ -555,6 +610,9 @@ func (m *Master) onDrainStart(msg msgDrainStart) {
 			break
 		}
 	}
+	// A drain racing fleet formation un-counts a banked registration the
+	// same way a pre-ready death does.
+	m.shrinkQuorum()
 	m.drains[msg.worker] = append(m.drains[msg.worker], msg.ack)
 	m.alloc.WorkerLost(m, msg.worker, nil)
 	m.ep.Send(msg.worker, MsgDrain{})
@@ -793,12 +851,24 @@ func (m *Master) PublishBidRequestTo(jobID string, workers []string) int {
 
 // ScheduleBidWindow implements AllocCtx.
 func (m *Master) ScheduleBidWindow(jobID string, d time.Duration) {
-	m.clk.AfterFunc(d, func() { m.Inject(MsgBidWindowExpired{JobID: jobID}) })
+	m.afterFunc(d, "bidwindow "+jobID, func() { m.Inject(MsgBidWindowExpired{JobID: jobID}) })
 }
 
 // ScheduleTick implements AllocCtx.
 func (m *Master) ScheduleTick(token string, d time.Duration) {
-	m.clk.AfterFunc(d, func() { m.Inject(MsgTick{Token: token}) })
+	m.afterFunc(d, "tick "+token, func() { m.Inject(MsgTick{Token: token}) })
+}
+
+// afterFunc schedules f on the master's clock, labeling the event with
+// the master as its conflict domain when a model-checking chooser is
+// active — the master's self-timers only ever Inject back into its own
+// loop, so they commute with deliveries to other nodes.
+func (m *Master) afterFunc(d time.Duration, detail string, f func()) {
+	if m.labeled != nil {
+		m.labeled.AfterFuncLabeled(d, vclock.EventLabel{Node: MasterName, Detail: detail}, f)
+		return
+	}
+	m.clk.AfterFunc(d, f)
 }
 
 // Rand implements AllocCtx.

@@ -63,6 +63,17 @@ type Config struct {
 	// DropFunc installs a broker delivery-loss model. Implementations
 	// must be deterministic (see broker.DropFunc).
 	DropFunc broker.DropFunc
+	// Probe, when non-nil, receives the assembled Cluster after
+	// construction and before anything starts running. The model checker
+	// uses it to capture the cluster for state fingerprinting; tests can
+	// use it to reach nodes a batch run otherwise hides.
+	Probe func(*Cluster)
+	// StaleBidBug re-introduces the stale dead-worker-bid bug fixed in
+	// the simtest PR (a dead worker's in-flight bid may win its
+	// contest). Test-only: it exists so the model checker's
+	// counterexample machinery can be demonstrated against a known-bad
+	// protocol. Never set it outside tests.
+	StaleBidBug bool
 	// Deadline bounds the run in simulated time: if the workflow has not
 	// completed Deadline after the run starts, the master aborts, every
 	// worker is force-stopped, and Run returns the partial report with
@@ -109,6 +120,25 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	clk, master := c.clk, c.master
+	master.staleBidBug = cfg.StaleBidBug
+	if cfg.Probe != nil {
+		cfg.Probe(c)
+	}
+	// afterFunc labels fault-plan timers when a model-checking chooser is
+	// active. Each fault gets its own serialization class, so it stays an
+	// independently enabled event the checker can fire at any point of
+	// the protocol — in the shared local-timer class it would be queued
+	// behind (or ahead of) ordinary timers in deadline order and most
+	// interleavings would be unreachable. Faults mutate both a worker and
+	// the master, so they conflict with everything (empty Node).
+	labeled := vclock.ActiveLabeled(clk)
+	afterFunc := func(d time.Duration, detail string, f func()) {
+		if labeled != nil {
+			labeled.AfterFuncLabeled(d, vclock.EventLabel{Class: "fault " + detail, Detail: detail}, f)
+			return
+		}
+		clk.AfterFunc(d, f)
+	}
 
 	for _, k := range cfg.Kills {
 		w := c.worker(k.Worker)
@@ -116,7 +146,7 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("engine: kill schedules unknown worker %q", k.Worker)
 		}
 		k, w := k, w
-		clk.AfterFunc(k.At, func() {
+		afterFunc(k.At, "kill "+k.Worker, func() {
 			w.kill()
 			master.Inject(MsgWorkerDead{Worker: k.Worker})
 		})
@@ -169,7 +199,7 @@ func Run(cfg Config) (*Report, error) {
 			continue // would join an already-aborted run
 		}
 		j, jr := j, jr
-		clk.AfterFunc(j.At, func() {
+		afterFunc(j.At, "join "+name, func() {
 			w, err := c.Join(j.State)
 			if err != nil {
 				return
@@ -187,7 +217,7 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("engine: drain schedules unknown worker %q", d.Worker)
 		}
 		d := d
-		clk.AfterFunc(d.At, func() {
+		afterFunc(d.At, "drain "+d.Worker, func() {
 			master.Inject(msgDrainStart{worker: d.Worker, ack: nil})
 		})
 	}

@@ -50,6 +50,9 @@ type Worker struct {
 	agent     Agent
 	bidDelay  time.Duration
 	heartbeat time.Duration
+	// labeled is non-nil only under a model-checking chooser (see
+	// vclock.ActiveLabeled); the worker's own timers then carry labels.
+	labeled *vclock.Sim
 
 	execQ vclock.Mailbox // *Job, FIFO local queue
 
@@ -87,8 +90,12 @@ type WorkerSpec struct {
 	// BidDelay models the time the bidding thread takes to compute an
 	// estimate before submitting.
 	BidDelay time.Duration
-	// Heartbeat is the idle re-pull interval for pull-based agents.
-	// Zero defaults to 500ms.
+	// Heartbeat is the idle re-pull interval for pull-based agents and
+	// the registration retry interval. Zero defaults to 500ms; negative
+	// disables the retry timers entirely (the model checker sets this so
+	// an idle worker cannot generate an infinite timer chain — safe only
+	// for push policies, and in lossless single-shot runs where the
+	// first registration always lands).
 	Heartbeat time.Duration
 	// Seed seeds the node's noise stream.
 	Seed int64
@@ -109,7 +116,7 @@ type WorkerState struct {
 // nil, in which case a perfect-knowledge static model over the nominal
 // speeds is used.
 func NewWorkerState(spec WorkerSpec, costs CostModel) *WorkerState {
-	if spec.Heartbeat <= 0 {
+	if spec.Heartbeat == 0 {
 		spec.Heartbeat = 500 * time.Millisecond
 	}
 	if costs == nil {
@@ -150,6 +157,7 @@ func newWorker(clk vclock.Clock, ep Port, wf *Workflow, st *WorkerState,
 	return &Worker{
 		name:        st.Spec.Name,
 		clk:         clk,
+		labeled:     vclock.ActiveLabeled(clk),
 		ep:          ep,
 		wf:          wf,
 		cache:       st.Cache,
@@ -214,7 +222,20 @@ func (w *Worker) register() {
 		return
 	}
 	w.ep.Send(MasterName, MsgRegister{Worker: w.name})
-	w.clk.AfterFunc(w.heartbeat, w.register)
+	if w.heartbeat > 0 {
+		w.afterFunc(w.heartbeat, w.name+" register-retry", w.register)
+	}
+}
+
+// afterFunc schedules f on the worker's clock, labeling the event when
+// a model-checking chooser is active. Worker timers send messages, so
+// they conflict with everything (empty Node).
+func (w *Worker) afterFunc(d time.Duration, detail string, f func()) {
+	if w.labeled != nil {
+		w.labeled.AfterFuncLabeled(d, vclock.EventLabel{Detail: detail}, f)
+		return
+	}
+	w.clk.AfterFunc(d, f)
 }
 
 func (w *Worker) commsLoop() {
@@ -514,7 +535,7 @@ func (w *Worker) SubmitBid(jobID string, estimate, jobCost time.Duration, local 
 		send()
 		return
 	}
-	w.clk.AfterFunc(w.bidDelay, send)
+	w.afterFunc(w.bidDelay, w.name+" bid "+jobID, send)
 }
 
 // AcceptOffer takes an offered job into the local queue and notifies the
@@ -539,12 +560,17 @@ func (w *Worker) RequestWork(strikes int) {
 	})
 }
 
-// RequestWorkAfter schedules RequestWork after d.
+// RequestWorkAfter schedules RequestWork after d (the worker's
+// heartbeat when d is zero). A negative heartbeat disables the retry
+// entirely — see WorkerSpec.Heartbeat.
 func (w *Worker) RequestWorkAfter(d time.Duration, strikes int) {
 	if d <= 0 {
 		d = w.heartbeat
 	}
-	w.clk.AfterFunc(d, func() {
+	if d <= 0 {
+		return
+	}
+	w.afterFunc(d, w.name+" pull", func() {
 		w.mu.Lock()
 		dead := w.killed
 		w.mu.Unlock()

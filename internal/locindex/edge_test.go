@@ -1,0 +1,100 @@
+package locindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDefaultHolderCapDropOrder pins the cap policy at the real default
+// cap (16): a full holder set drops *new* updates — it never evicts an
+// existing holder to make room — and a freed slot re-opens the set. The
+// distinction matters for index quality: holders learned early (from
+// local bids) stay trusted over late arrivals, and the set only churns
+// through explicit retirements (eviction notices, deaths, non-local
+// bids).
+func TestDefaultHolderCapDropOrder(t *testing.T) {
+	x := New(0)
+	names := make([]string, DefaultHolderCap)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	// Insert in reverse to prove the stored order is name-sorted, not
+	// insertion-ordered.
+	for i := len(names) - 1; i >= 0; i-- {
+		x.AddHolder("k", names[i])
+	}
+	if got := x.HolderCount("k"); got != DefaultHolderCap {
+		t.Fatalf("HolderCount = %d, want the default cap %d", got, DefaultHolderCap)
+	}
+	if got := x.Holders("k", 0); !reflect.DeepEqual(got, names) {
+		t.Fatalf("Holders = %v, want name-sorted %v", got, names)
+	}
+
+	// Over cap: the newcomer is dropped, every original holder survives.
+	x.AddHolder("k", "zz")
+	if got := x.Holders("k", 0); !reflect.DeepEqual(got, names) {
+		t.Fatalf("over-cap add changed the set: %v", got)
+	}
+
+	// A retirement frees exactly one slot, and only then is a newcomer
+	// recorded.
+	x.RemoveHolder("k", names[0])
+	x.AddHolder("k", "zz")
+	x.AddHolder("k", "zzz") // cap reached again: dropped
+	want := append(append([]string(nil), names[1:]...), "zz")
+	if got := x.Holders("k", 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after retire+add, Holders = %v, want %v", got, want)
+	}
+}
+
+// TestSampleLightIdenticalSketchesAgree: sampling must be a pure
+// function of (load sketch, fleet slice, seed). Two indexes that
+// converged to the same believed loads by different observation orders
+// — and with arbitrarily different holder sets — must draw identical
+// samples from the same seeded source. This is what lets the model
+// checker treat the load sketch as the only sampling-relevant state.
+func TestSampleLightIdenticalSketchesAgree(t *testing.T) {
+	fleet := []string{"w0", "w1", "w2", "w3", "w4", "w5"}
+
+	a := New(0)
+	a.SetLoad("w0", 4*time.Second)
+	a.AddLoad("w1", 10*time.Second)
+	a.AddLoad("w1", -2*time.Second)
+	a.SetLoad("w5", time.Second)
+	a.AddHolder("k1", "w0")
+	a.AddHolder("k1", "w3")
+
+	b := New(0)
+	b.SetLoad("w5", time.Second)
+	b.SetLoad("w1", 8*time.Second) // same value, one observation
+	b.AddLoad("w0", 4*time.Second)
+	b.AddHolder("other", "w5") // different holder state entirely
+
+	for seed := int64(1); seed <= 20; seed++ {
+		sa := a.SampleLight(rand.New(rand.NewSource(seed)), fleet, 3, nil)
+		sb := b.SampleLight(rand.New(rand.NewSource(seed)), fleet, 3, nil)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("seed %d: identical sketches sampled differently: %v vs %v", seed, sa, sb)
+		}
+	}
+}
+
+// TestSampleLightFixedDrawCount: a slot whose pick is excluded or a
+// duplicate is lost, not retried, so the number of rng draws depends
+// only on n — never on the exclusion set or the sketch. Replays stay
+// aligned even when the exclusion set differs between planning paths.
+func TestSampleLightFixedDrawCount(t *testing.T) {
+	fleet := []string{"a", "b", "c", "d"}
+	after := func(exclude map[string]bool) int64 {
+		rng := rand.New(rand.NewSource(99))
+		New(0).SampleLight(rng, fleet, 3, exclude)
+		return rng.Int63() // position probe: same value iff same draw count
+	}
+	unfiltered := after(nil)
+	heavy := after(map[string]bool{"a": true, "b": true, "c": true, "d": true})
+	if unfiltered != heavy {
+		t.Fatalf("exclusions changed the rng draw count: probe %d vs %d", unfiltered, heavy)
+	}
+}

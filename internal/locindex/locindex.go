@@ -23,8 +23,10 @@
 package locindex
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -151,6 +153,34 @@ func (x *Index) RemoveWorker(worker string) {
 		x.RemoveHolder(key, worker)
 	}
 	delete(x.load, worker)
+}
+
+// Digest renders the index's full state — holder sets and the load
+// sketch — in canonical sorted order, for the model checker's state
+// fingerprint. Zero-load entries are omitted: an explicit zero and an
+// absent worker answer every query identically, so distinguishing them
+// would split states that cannot diverge.
+func (x *Index) Digest() string {
+	keys := make([]string, 0, len(x.holders))
+	for k := range x.holders {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "idx %s=%s\n", k, strings.Join(x.holders[k], ","))
+	}
+	loaded := make([]string, 0, len(x.load))
+	for w, l := range x.load {
+		if l != 0 {
+			loaded = append(loaded, w)
+		}
+	}
+	sort.Strings(loaded)
+	for _, w := range loaded {
+		fmt.Fprintf(&b, "load %s=%d\n", w, x.load[w])
+	}
+	return b.String()
 }
 
 // SampleLight draws up to n distinct workers from the fleet by

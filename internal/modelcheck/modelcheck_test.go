@@ -1,0 +1,223 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"crossflow/internal/core"
+	"crossflow/internal/simtest"
+)
+
+func policy(t *testing.T, name string) core.Policy {
+	t.Helper()
+	pol, ok := core.PolicyByName(name)
+	if !ok {
+		t.Fatalf("unknown policy %q", name)
+	}
+	return pol
+}
+
+// TestExhaustsFaultFree explores the full state space of the two
+// contest-based policies on a fault-free 2-worker, 2-job configuration
+// and expects a clean exhaustion: every interleaving audited, zero
+// invariant violations, zero truncations.
+func TestExhaustsFaultFree(t *testing.T) {
+	for _, name := range []string{"bidding", "bidding-fast", "bidding-topk"} {
+		t.Run(name, func(t *testing.T) {
+			pol := policy(t, name)
+			sc := BoundedScenario(Bounds{Workers: 2, Jobs: 2}, pol)
+			res, err := Check(Config{Scenario: sc, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s", FormatStats(res.Stats))
+			if res.Violation != nil {
+				t.Fatalf("violation: %v\nschedule: %v\ntrace:\n%s",
+					res.Violation, res.Counterexample.Schedule, res.Counterexample.Trace)
+			}
+			if !res.Exhausted {
+				t.Fatalf("state space not exhausted: %s", FormatStats(res.Stats))
+			}
+			if res.Stats.States == 0 || res.Stats.Runs < 2 {
+				t.Fatalf("implausibly small exploration: %s", FormatStats(res.Stats))
+			}
+		})
+	}
+}
+
+// TestExhaustsWithKill adds the hardest bounded fault — a worker kill
+// enabled at every point of the protocol, including before its
+// registration arrives — and still expects clean exhaustion. This
+// config is what flushed out the register-after-death resurrection and
+// the pre-ready quorum stall (see Master.shrinkQuorum and Master.dead).
+func TestExhaustsWithKill(t *testing.T) {
+	pol := policy(t, "bidding")
+	sc := BoundedScenario(Bounds{Workers: 2, Jobs: 1, Kill: "w1"}, pol)
+	res, err := Check(Config{Scenario: sc, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", FormatStats(res.Stats))
+	if res.Violation != nil {
+		t.Fatalf("violation: %v\ntrace:\n%s", res.Violation, res.Counterexample.Trace)
+	}
+	if !res.Exhausted {
+		t.Fatalf("state space not exhausted: %s", FormatStats(res.Stats))
+	}
+}
+
+// TestExhaustsWithDrain explores a graceful drain racing the whole
+// protocol, contest included.
+func TestExhaustsWithDrain(t *testing.T) {
+	pol := policy(t, "bidding")
+	sc := BoundedScenario(Bounds{Workers: 2, Jobs: 1, Drain: "w1"}, pol)
+	res, err := Check(Config{Scenario: sc, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", FormatStats(res.Stats))
+	if res.Violation != nil {
+		t.Fatalf("violation: %v\ntrace:\n%s", res.Violation, res.Counterexample.Trace)
+	}
+	if !res.Exhausted {
+		t.Fatalf("state space not exhausted: %s", FormatStats(res.Stats))
+	}
+}
+
+// TestStaleBidBugCounterexample re-introduces the stale dead-worker-bid
+// bug (fixed in the simtest PR, kept behind engine.Config.StaleBidBug)
+// and expects the checker to find the interleaving that fuzzing found
+// only by luck: the victim's bid is in flight when it dies, the stale
+// bid wins, and the job strands on a closed endpoint. The resulting
+// counterexample must survive an encode/decode round trip and replay to
+// the same violation.
+func TestStaleBidBugCounterexample(t *testing.T) {
+	pol := policy(t, "bidding")
+	sc := BoundedScenario(Bounds{Workers: 2, Jobs: 1, Kill: "w1"}, pol)
+	res, err := Check(Config{Scenario: sc, Policy: pol, StaleBidBug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("checker missed the re-introduced bug: %s", FormatStats(res.Stats))
+	}
+	if res.Violation.Invariant != "completion" {
+		t.Fatalf("expected a completion violation (stranded job), got %q: %s",
+			res.Violation.Invariant, res.Violation.Detail)
+	}
+	ce := res.Counterexample
+	if ce == nil || len(ce.Schedule) == 0 {
+		t.Fatalf("violation without a schedule: %+v", ce)
+	}
+
+	data, err := ce.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := simtest.DecodeCounterexample(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, v, err := decoded.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatalf("decoded counterexample no longer reproduces; trace:\n%s", ce.Trace)
+	}
+	if v.Invariant != ce.Invariant {
+		t.Fatalf("replay violated %q, counterexample recorded %q", v.Invariant, ce.Invariant)
+	}
+	if r.Err == nil {
+		t.Fatalf("stranded-job replay should deadlock, run returned no error")
+	}
+}
+
+// TestStaleBidBugGoneWhenFixed replays nothing: with the bug flag off,
+// the same configuration must have no violating interleaving at all —
+// the WorkerLost scrub really closes the window the bug opened.
+func TestStaleBidBugGoneWhenFixed(t *testing.T) {
+	pol := policy(t, "bidding")
+	sc := BoundedScenario(Bounds{Workers: 2, Jobs: 1, Kill: "w1"}, pol)
+	res, err := Check(Config{Scenario: sc, Policy: pol, StaleBidBug: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil || !res.Exhausted {
+		t.Fatalf("fixed protocol should exhaust cleanly: violation=%v %s",
+			res.Violation, FormatStats(res.Stats))
+	}
+}
+
+// TestPORCrossCheck runs the same configuration with and without
+// sleep-set reduction. Both must exhaust with the same verdict, and the
+// reduction must not do more work than the plain search.
+func TestPORCrossCheck(t *testing.T) {
+	pol := policy(t, "bidding")
+	sc := BoundedScenario(Bounds{Workers: 2, Jobs: 1, Kill: "w1"}, pol)
+	with, err := Check(Config{Scenario: sc, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Check(Config{Scenario: sc, Policy: pol, DisablePOR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("por:    %s", FormatStats(with.Stats))
+	t.Logf("no-por: %s", FormatStats(without.Stats))
+	if with.Violation != nil || without.Violation != nil {
+		t.Fatalf("violations: por=%v no-por=%v", with.Violation, without.Violation)
+	}
+	if !with.Exhausted || !without.Exhausted {
+		t.Fatalf("both searches must exhaust")
+	}
+	if with.Stats.Runs > without.Stats.Runs {
+		t.Fatalf("reduction ran more executions (%d) than the plain search (%d)",
+			with.Stats.Runs, without.Stats.Runs)
+	}
+}
+
+// TestDepthBoundedPull smoke-checks a pull policy: its heartbeat chains
+// never quiesce (UsesPullTimers), so the search must report truncation
+// rather than exhaustion — and still find no violation inside the bound.
+func TestDepthBoundedPull(t *testing.T) {
+	pol := policy(t, "matchmaking")
+	if !UsesPullTimers(pol) {
+		t.Fatalf("matchmaking should be flagged as a pull policy")
+	}
+	sc := BoundedScenario(Bounds{Workers: 2, Jobs: 1}, pol)
+	res, err := Check(Config{Scenario: sc, Policy: pol, MaxDepth: 20, MaxRuns: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", FormatStats(res.Stats))
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if res.Exhausted {
+		t.Fatalf("a depth-bounded pull search must not claim exhaustion")
+	}
+}
+
+// TestAcceptance23 is the headline configuration: 2 workers x 3 jobs
+// exhausted for both bidding and bidding-topk. bidding-topk's space is
+// large (hundreds of thousands of runs), so this only runs in full test
+// mode; -short covers the same policies at 2x2 via TestExhaustsFaultFree.
+func TestAcceptance23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2x3 exhaustion takes minutes; run without -short")
+	}
+	for _, name := range []string{"bidding", "bidding-topk"} {
+		t.Run(name, func(t *testing.T) {
+			pol := policy(t, name)
+			sc := BoundedScenario(Bounds{Workers: 2, Jobs: 3}, pol)
+			res, err := Check(Config{Scenario: sc, Policy: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s", FormatStats(res.Stats))
+			if res.Violation != nil || !res.Exhausted {
+				t.Fatalf("violation=%v %s", res.Violation, FormatStats(res.Stats))
+			}
+		})
+	}
+}

@@ -97,11 +97,33 @@ type RunResult struct {
 	Err    error
 }
 
+// ExecOptions lets callers hook a scenario execution: the model checker
+// supplies a pre-configured clock (with a scheduling chooser installed)
+// and a cluster probe, and flips protocol bugs back on to demonstrate
+// counterexample extraction. The zero value is a plain run.
+type ExecOptions struct {
+	// Clock replaces the fresh vclock.NewSim() an ordinary run uses.
+	Clock *vclock.Sim
+	// Probe receives the assembled cluster before it starts.
+	Probe func(*engine.Cluster)
+	// StaleBidBug re-introduces the stale dead-worker-bid bug
+	// (test-only; see engine.Config.StaleBidBug).
+	StaleBidBug bool
+}
+
 // Execute runs one policy over a scenario on a fresh simulated clock
 // and fleet, returning the report, the full allocation trace, and the
 // run error (nil, ErrDeadlineExceeded, or ErrDeadlocked).
 func Execute(sc *Scenario, pol core.Policy) *RunResult {
-	clk := vclock.NewSim()
+	return ExecuteOpts(sc, pol, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with execution hooks (see ExecOptions).
+func ExecuteOpts(sc *Scenario, pol core.Policy, opts ExecOptions) *RunResult {
+	clk := opts.Clock
+	if clk == nil {
+		clk = vclock.NewSim()
+	}
 	trace := engine.NewTraceLog()
 	var kills []engine.Kill
 	for _, k := range sc.Faults.Kills {
@@ -132,6 +154,8 @@ func Execute(sc *Scenario, pol core.Policy) *RunResult {
 		DropFunc:     sc.dropFunc(),
 		Deadline:     sc.Deadline,
 		Tracer:       trace,
+		Probe:        opts.Probe,
+		StaleBidBug:  opts.StaleBidBug,
 	})
 	return &RunResult{Policy: pol.Name, Report: rep, Events: trace.Events(), Err: err}
 }

@@ -106,11 +106,14 @@ func TestSeedSweepHoldsInvariants(t *testing.T) {
 // test -fuzz=FuzzScenario ./internal/simtest` explores seeds beyond the
 // corpus.
 func FuzzScenario(f *testing.F) {
-	// Corpus: a regular seed plus the seeds whose scenarios exposed real
-	// engine bugs during development (stale bids from dead workers,
-	// delivery-order nondeterminism).
-	for _, seed := range []int64{1, 17, 438, 4558, 5253} {
+	// Corpus: a couple of regular seeds plus the named regression corpus
+	// of seeds whose scenarios exposed real engine bugs during
+	// development (see regression_test.go).
+	for _, seed := range []int64{1, 17} {
 		f.Add(seed)
+	}
+	for _, rc := range regressionCorpus {
+		f.Add(rc.seed)
 	}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		if seed == 0 {

@@ -61,6 +61,11 @@ func (q *ring) push(v any) {
 	q.n++
 }
 
+// at reads the i-th queued item without dequeuing (digests only).
+func (q *ring) at(i int) any {
+	return q.buf[(q.head+i)&(len(q.buf)-1)]
+}
+
 func (q *ring) pop() any {
 	v := q.buf[q.head]
 	q.buf[q.head] = nil
@@ -99,7 +104,16 @@ type simMailbox struct {
 // NewMailbox returns a mailbox whose blocking receive participates in
 // simulated-time advancement.
 func (s *Sim) NewMailbox(name string) Mailbox {
-	return &simMailbox{s: s, name: name, recvTag: "recv:" + name}
+	m := &simMailbox{s: s, name: name, recvTag: "recv:" + name}
+	s.mu.Lock()
+	if s.chooser != nil {
+		// Registered only under a chooser: MailboxDigest needs queued
+		// contents, and the registry would otherwise pin every mailbox a
+		// long-lived simulation ever creates.
+		s.mailboxes = append(s.mailboxes, m)
+	}
+	s.mu.Unlock()
+	return m
 }
 
 func (m *simMailbox) Name() string { return m.name }

@@ -38,6 +38,15 @@ type Sim struct {
 	// blocked and no timer is pending. Intended for tests.
 	onDeadlock func(waiting []string)
 	deadlocked bool
+
+	// chooser, if set, picks which enabled event fires at each quiescent
+	// point instead of the earliest-deadline default, and freezes time
+	// advancement. See choose.go.
+	chooser Chooser
+	// mailboxes registers every mailbox created while a chooser is
+	// installed, in creation order, for MailboxDigest. Empty in normal
+	// runs.
+	mailboxes []*simMailbox
 }
 
 // waitTag records where one goroutine is blocked. The human-readable
@@ -183,6 +192,12 @@ func (s *Sim) blockLocked() {
 // which stops the advance.
 func (s *Sim) maybeAdvanceLocked() {
 	for s.running == 0 {
+		if s.chooser != nil {
+			// Stale events are harmless no-ops on the default path, but
+			// under a chooser they would pollute the enabled set and the
+			// pending-event fingerprint.
+			s.purgeStaleLocked()
+		}
 		if s.timers.len() == 0 {
 			// Fully idle: either the simulation has finished (no waiters)
 			// or it has deadlocked. Either way, wake Wait callers.
@@ -192,8 +207,15 @@ func (s *Sim) maybeAdvanceLocked() {
 			}
 			return
 		}
-		ev := s.timers.pop()
-		if ev.when > s.nowNanos {
+		var ev timerEvent
+		if s.chooser != nil {
+			ev = s.chooseLocked()
+		} else {
+			ev = s.timers.pop()
+		}
+		// Under a chooser, time is frozen: commuting event orders then
+		// reach literally identical states (see choose.go).
+		if ev.when > s.nowNanos && s.chooser == nil {
 			s.now = s.now.Add(time.Duration(ev.when - s.nowNanos))
 			s.nowNanos = ev.when
 		}
@@ -322,14 +344,15 @@ const (
 // timerEvent is one pending clock event, keyed for firing order by
 // (when, seq): earliest deadline first, scheduling order breaking ties.
 type timerEvent struct {
-	when int64 // deadline, UnixNano
-	seq  uint64
-	kind timerKind
-	gen  uint64         // waiter generation for evWake/evTimeout
-	w    *mbWaiter      // evWake, evTimeout
-	mb   *simMailbox    // evTimeout
-	ch   chan time.Time // evChan
-	af   *afterFuncCall // evFunc
+	when  int64 // deadline, UnixNano
+	seq   uint64
+	kind  timerKind
+	gen   uint64         // waiter generation for evWake/evTimeout
+	w     *mbWaiter      // evWake, evTimeout
+	mb    *simMailbox    // evTimeout
+	ch    chan time.Time // evChan
+	af    *afterFuncCall // evFunc
+	label *EventLabel    // model-checker label; nil for unlabeled events
 }
 
 // timerHeap is a binary min-heap of timerEvent values ordered by
@@ -374,6 +397,48 @@ func (h *timerHeap) pop() timerEvent {
 		h.siftDown(0)
 	}
 	return root
+}
+
+func (h *timerHeap) siftUp(i int) {
+	evs := h.evs
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(&evs[i], &evs[parent]) {
+			return
+		}
+		evs[i], evs[parent] = evs[parent], evs[i]
+		i = parent
+	}
+}
+
+// heapify restores the heap order over the whole slice, after an
+// order-disturbing bulk edit (purgeStaleLocked).
+func (h *timerHeap) heapify() {
+	for i := len(h.evs)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// removeSeq extracts the event with the given sequence number, if still
+// pending. Only the model checker's choose path uses it, so the linear
+// scan costs normal runs nothing.
+func (h *timerHeap) removeSeq(seq uint64) (timerEvent, bool) {
+	for i := range h.evs {
+		if h.evs[i].seq != seq {
+			continue
+		}
+		ev := h.evs[i]
+		n := len(h.evs) - 1
+		h.evs[i] = h.evs[n]
+		h.evs[n] = timerEvent{}
+		h.evs = h.evs[:n]
+		if i < n {
+			h.siftDown(i)
+			h.siftUp(i)
+		}
+		return ev, true
+	}
+	return timerEvent{}, false
 }
 
 func (h *timerHeap) siftDown(i int) {
