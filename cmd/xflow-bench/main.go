@@ -64,11 +64,21 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := file.Write(*out); err != nil {
+		// Preserve the "wire" group when refreshing a shared baseline:
+		// those rows belong to cmd/xflow-wirebench, not this suite.
+		written := file
+		if *only == "" {
+			if prev, err := perf.Load(*out); err == nil {
+				written = prev.Group("wire")
+				written.Go = file.Go
+				written.Results = append(written.Results, file.Results...)
+			}
+		}
+		if err := written.Write(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "xflow-bench: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
+		fmt.Printf("wrote %d results to %s\n", len(written.Results), *out)
 	}
 
 	if *baseline != "" {
@@ -77,7 +87,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xflow-bench: load baseline: %v\n", err)
 			os.Exit(2)
 		}
-		rep := perf.Compare(base, file, *threshold)
+		// The "wire" group is produced by cmd/xflow-wirebench (real
+		// multi-process runs), not this suite; those rows would always
+		// read as missing here.
+		rep := perf.Compare(base.WithoutGroup("wire"), file, *threshold)
 		fmt.Printf("\ncomparison vs %s (threshold %.0f%%):\n", *baseline, *threshold*100)
 		for _, d := range rep.Deltas {
 			fmt.Println(perf.FormatDelta(d))

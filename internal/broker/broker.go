@@ -102,6 +102,7 @@ type Broker struct {
 
 	mu        sync.Mutex
 	drop      DropFunc
+	direct    bool
 	endpoints map[string]*Endpoint
 	topics    map[string][]*Endpoint // topic -> subscribers, sorted by name
 	stats     Stats
@@ -128,6 +129,28 @@ func (b *Broker) SetDelayFunc(f DelayFunc) {
 		f = defaultDelay
 	}
 	b.delay = f
+}
+
+// SetDirectDelivery disables the deterministic route skew so zero-delay
+// messages go straight into the destination inbox instead of through a
+// timer. Simulated runs need the skew — it is what keeps equal-deadline
+// timers from firing in OS-scheduling order — but on a real-clock bus
+// fronted by actual TCP connections the network already provides the
+// propagation nondeterminism, and a sub-66µs wall timer per delivery is
+// pure scheduler churn on the hot path.
+func (b *Broker) SetDirectDelivery(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.direct = on
+}
+
+// skewLocked returns the route skew for from->to, or zero in direct
+// mode. Caller holds b.mu.
+func (b *Broker) skewLocked(from *Endpoint, to string) time.Duration {
+	if b.direct {
+		return 0
+	}
+	return from.skewLocked(to)
 }
 
 // SetDropFunc installs a delivery-loss model for fault injection.
@@ -226,7 +249,7 @@ func (b *Broker) send(from *Endpoint, to string, payload any) bool {
 		b.mu.Unlock()
 		return true
 	}
-	d := b.delay(from, dst) + from.skewLocked(to)
+	d := b.delay(from, dst) + b.skewLocked(from, to)
 	b.stats.Direct++
 	b.mu.Unlock()
 	b.deliver(dst, env, d)
@@ -302,7 +325,7 @@ func (b *Broker) publish(from *Endpoint, topic string, payload any) int {
 			b.stats.Dropped++
 			continue
 		}
-		targets = append(targets, delivery{ep: ep, d: b.delay(from, ep) + from.skewLocked(ep.name)})
+		targets = append(targets, delivery{ep: ep, d: b.delay(from, ep) + b.skewLocked(from, ep.name)})
 	}
 	b.stats.Fanout += int64(len(targets))
 	b.mu.Unlock()
@@ -347,7 +370,7 @@ func (b *Broker) sendMulti(from *Endpoint, targets []string, payload any) int {
 			b.stats.Dropped++
 			continue
 		}
-		outs = append(outs, delivery{ep: dst, d: b.delay(from, dst) + from.skewLocked(to)})
+		outs = append(outs, delivery{ep: dst, d: b.delay(from, dst) + b.skewLocked(from, to)})
 	}
 	b.stats.Direct += int64(len(outs))
 	b.mu.Unlock()

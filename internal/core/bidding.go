@@ -63,6 +63,10 @@ func (b *BiddingAllocator) window() time.Duration {
 }
 
 // JobReady implements engine.Allocator: sendJob (Listing 1, lines 1–4).
+// On a pipelined port, reached is engine.ContestUnsized: the contest
+// opens without knowing its fleet size and is resized by ContestSized
+// when the publish ack lands — bids arriving in between are collected
+// as usual, overlapping the ack round-trip.
 func (b *BiddingAllocator) JobReady(ctx engine.AllocCtx, job *engine.Job) {
 	if b.contests == nil {
 		b.contests = make(map[string]*contest)
@@ -77,6 +81,25 @@ func (b *BiddingAllocator) JobReady(ctx engine.AllocCtx, job *engine.Job) {
 	}
 }
 
+// ContestSized implements the engine's pipelined-publish hook: the
+// reached count of an open unsized contest resolved. If every reached
+// worker has already bid, the contest closes now; a count of 0 keeps
+// the original no-fleet semantics (wait for the window, then assign
+// arbitrarily). A worker that died between the publish and this event
+// is still counted in reached — its missing bid holds the contest open
+// until the window expires, which is the same guarantee the
+// synchronous path gives for workers dying after the count returned.
+func (b *BiddingAllocator) ContestSized(ctx engine.AllocCtx, jobID string, reached int) {
+	c := b.contests[jobID]
+	if c == nil || c.closed {
+		return
+	}
+	c.expected = reached
+	if reached > 0 && len(c.bids) >= reached {
+		b.close(ctx, jobID, c)
+	}
+}
+
 // BidReceived implements engine.Allocator: receiveBid (Listing 1,
 // lines 6–15).
 func (b *BiddingAllocator) BidReceived(ctx engine.AllocCtx, bid engine.MsgBid) {
@@ -85,7 +108,10 @@ func (b *BiddingAllocator) BidReceived(ctx engine.AllocCtx, bid engine.MsgBid) {
 		return // late bid for a closed contest
 	}
 	c.bids = append(c.bids, bid)
-	if len(c.bids) >= c.expected || (b.FastLocalClose && bid.Local) {
+	// An unsized contest (expected < 0, count still in flight) can only
+	// fast-close on a local bid; the full-fleet arm waits for the count.
+	sized := c.expected >= 0
+	if (sized && len(c.bids) >= c.expected) || (b.FastLocalClose && bid.Local) {
 		b.close(ctx, bid.JobID, c)
 	}
 }

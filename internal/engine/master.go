@@ -280,6 +280,14 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 	case MsgBidWindowExpired:
 		m.sessFor(msg.JobID)
 		m.alloc.BidWindowExpired(m, msg.JobID)
+	case msgContestSized:
+		// A pipelined publish ack resolved: account the contest's fanout
+		// now (the synchronous path counts it inline) and let the
+		// allocator resize the open contest.
+		m.sessFor(msg.JobID).contestMsgs += msg.Count
+		if sizer, ok := m.alloc.(contestSizer); ok {
+			sizer.ContestSized(m, msg.JobID, msg.Count)
+		}
 	case MsgAccept:
 		m.onAccept(msg)
 	case MsgReject:
@@ -785,7 +793,28 @@ func (m *Master) SendNoWork(worker string, backoff time.Duration) {
 	m.ep.Send(worker, MsgNoWork{Backoff: backoff})
 }
 
-// PublishBidRequest implements AllocCtx.
+// asyncPublisher is the optional pipelined-publish capability a Port
+// may provide (the TCP transport client does): the publish goes on the
+// wire immediately and the returned future resolves to the subscriber
+// count when the server's ack lands.
+type asyncPublisher interface {
+	PublishAsync(topic string, payload any) func() int
+}
+
+// contestSizer is the optional allocator hook that receives a
+// pipelined contest's reached count once it resolves. Only allocators
+// implementing it get ContestUnsized from PublishBidRequest.
+type contestSizer interface {
+	ContestSized(ctx AllocCtx, jobID string, reached int)
+}
+
+// PublishBidRequest implements AllocCtx. On a port with pipelined
+// publishes — and an allocator able to consume a late count — the bid
+// request departs without waiting for its ack: bids can overlap the
+// ack round-trip, and the reached count re-enters the master loop as a
+// msgContestSized event. Everywhere else (the simulator's in-process
+// broker in particular) the publish stays synchronous, byte-identical
+// to previous releases.
 //
 //xflow:goroutine master-loop
 func (m *Master) PublishBidRequest(jobID string) int {
@@ -796,7 +825,17 @@ func (m *Master) PublishBidRequest(jobID string) int {
 	s := m.sessOf(rec)
 	s.contests++
 	m.trace(TraceContest, jobID, "")
-	n := m.ep.Publish(TopicBids, MsgBidRequest{Job: rec.Job})
+	req := MsgBidRequest{Job: rec.Job}
+	if ap, ok := m.ep.(asyncPublisher); ok {
+		if _, ok := m.alloc.(contestSizer); ok {
+			wait := ap.PublishAsync(TopicBids, req)
+			m.clk.Go(func() {
+				m.Inject(msgContestSized{JobID: jobID, Count: wait()})
+			})
+			return ContestUnsized
+		}
+	}
+	n := m.ep.Publish(TopicBids, req)
 	s.contestMsgs += n
 	return n
 }

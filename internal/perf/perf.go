@@ -67,6 +67,30 @@ func (f *File) Write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Group returns a copy of f keeping only results in the named group.
+// The bench and wirebench binaries write disjoint groups into one
+// baseline file; each gates only its own rows.
+func (f *File) Group(name string) *File {
+	out := &File{Schema: f.Schema, Go: f.Go}
+	for _, r := range f.Results {
+		if r.Group == name {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out
+}
+
+// WithoutGroup returns a copy of f dropping results in the named group.
+func (f *File) WithoutGroup(name string) *File {
+	out := &File{Schema: f.Schema, Go: f.Go}
+	for _, r := range f.Results {
+		if r.Group != name {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out
+}
+
 // Delta is one metric's change between a baseline and a current run.
 // Pct is the relative change: positive means the metric grew.
 type Delta struct {

@@ -36,6 +36,7 @@ type AutoClient struct {
 	name  string
 	link  time.Duration
 	clk   vclock.Clock
+	opts  Options
 	inbox vclock.Mailbox
 
 	mu           sync.Mutex
@@ -51,7 +52,13 @@ type AutoClient struct {
 // initial dial must succeed; only subsequent drops trigger the redial
 // loop.
 func DialAuto(addr, name string, link time.Duration, clk vclock.Clock) (*AutoClient, error) {
-	c, err := Dial(addr, name, link, clk)
+	return DialAutoOptions(addr, name, link, clk, Options{})
+}
+
+// DialAutoOptions is DialAuto with explicit connection options, applied
+// to the initial dial and every redial.
+func DialAutoOptions(addr, name string, link time.Duration, clk vclock.Clock, opts Options) (*AutoClient, error) {
+	c, err := DialOptions(addr, name, link, clk, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +67,7 @@ func DialAuto(addr, name string, link time.Duration, clk vclock.Clock) (*AutoCli
 		name:   name,
 		link:   link,
 		clk:    clk,
+		opts:   opts,
 		inbox:  clk.NewMailbox("auto:" + name),
 		topics: make(map[string]bool),
 		cur:    c,
@@ -116,7 +124,7 @@ func (a *AutoClient) redial() {
 			return
 		}
 		a.mu.Unlock()
-		c, err := Dial(a.addr, a.name, a.link, a.clk)
+		c, err := DialOptions(a.addr, a.name, a.link, a.clk, a.opts)
 		if err == nil {
 			a.mu.Lock()
 			if a.closed || a.deregistered {
@@ -179,6 +187,25 @@ func (a *AutoClient) Send(to string, payload any) bool {
 func (a *AutoClient) Publish(topic string, payload any) int {
 	if c := a.current(); c != nil {
 		return c.Publish(topic, payload)
+	}
+	return 0
+}
+
+// PublishAsync forwards the pipelined-publish capability of the live
+// connection. During an outage it returns an immediate-zero future —
+// the same at-most-once discipline as Send.
+func (a *AutoClient) PublishAsync(topic string, payload any) func() int {
+	if c := a.current(); c != nil {
+		return c.PublishAsync(topic, payload)
+	}
+	return func() int { return 0 }
+}
+
+// SendMulti forwards the targeted-multicast capability of the live
+// connection.
+func (a *AutoClient) SendMulti(targets []string, payload any) int {
+	if c := a.current(); c != nil {
+		return c.SendMulti(targets, payload)
 	}
 	return 0
 }

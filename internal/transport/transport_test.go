@@ -2,7 +2,9 @@ package transport
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -306,5 +308,268 @@ func TestWireRoundTripAllMessages(t *testing.T) {
 	got := v.(*broker.Envelope).Payload.(engine.MsgAssign)
 	if got.Job.DataSizeMB != 12.5 || got.Job.CostHint != time.Second || got.EstimatedCost != time.Minute {
 		t.Errorf("MsgAssign fields lost: %+v", got)
+	}
+}
+
+// TestCodecNegotiationMixedClients runs one server with a legacy gob
+// client (the previous release's opening bytes: no header) and a binary
+// client side by side: the server must pick each connection's codec
+// from its first bytes, and frames must flow between the two codecs.
+func TestCodecNegotiationMixedClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+
+	old, err := DialOptions(srv.Addr(), "old", 0, clk, Options{Codec: "gob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	neu, err := DialOptions(srv.Addr(), "new", 0, clk, Options{Codec: "binary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer neu.Close()
+	if old.Codec() != "gob" || neu.Codec() != "binary" {
+		t.Fatalf("codecs = %q, %q", old.Codec(), neu.Codec())
+	}
+	waitRegistered(t, srv, "old", "new")
+
+	// gob → binary and binary → gob, including a topic fanout that
+	// reaches both codecs from one shared envelope.
+	if !old.Send("new", engine.MsgRegister{Worker: "old"}) {
+		t.Fatal("gob→binary send failed")
+	}
+	if v, ok, timedOut := neu.Inbox().RecvTimeout(5 * time.Second); !ok || timedOut {
+		t.Fatal("gob→binary delivery never arrived")
+	} else if v.(*broker.Envelope).Payload.(engine.MsgRegister).Worker != "old" {
+		t.Fatalf("payload mangled: %#v", v)
+	}
+	if !neu.Send("old", engine.MsgAccept{JobID: "j", Worker: "new"}) {
+		t.Fatal("binary→gob send failed")
+	}
+	if v, ok, timedOut := old.Inbox().RecvTimeout(5 * time.Second); !ok || timedOut {
+		t.Fatal("binary→gob delivery never arrived")
+	} else if v.(*broker.Envelope).Payload.(engine.MsgAccept).Worker != "new" {
+		t.Fatalf("payload mangled: %#v", v)
+	}
+
+	old.Subscribe("mixed")
+	neu.Subscribe("mixed")
+	pub, err := Dial(srv.Addr(), "pub", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for time.Now().Before(deadline) {
+		if n = pub.Publish("mixed", engine.MsgStop{}); n == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n != 2 {
+		t.Fatalf("fanout reached %d, want 2", n)
+	}
+	for _, c := range []*Client{old, neu} {
+		if _, ok, timedOut := c.Inbox().RecvTimeout(5 * time.Second); !ok || timedOut {
+			t.Errorf("%s client missed the fanout", c.Codec())
+		}
+	}
+}
+
+// TestSendMultiOverWire: the client's targeted multicast reaches
+// exactly the named endpoints and acks the reached count.
+func TestSendMultiOverWire(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+	src, _ := Dial(srv.Addr(), "src", 0, clk)
+	defer src.Close()
+	w1, _ := Dial(srv.Addr(), "w1", 0, clk)
+	defer w1.Close()
+	w2, _ := Dial(srv.Addr(), "w2", 0, clk)
+	defer w2.Close()
+	w3, _ := Dial(srv.Addr(), "w3", 0, clk)
+	defer w3.Close()
+	waitRegistered(t, srv, "src", "w1", "w2", "w3")
+
+	n := src.SendMulti([]string{"w1", "w2", "ghost"}, engine.MsgOffer{Job: &engine.Job{ID: "j"}})
+	if n != 2 {
+		t.Fatalf("SendMulti reached %d, want 2 (ghost skipped)", n)
+	}
+	for _, c := range []*Client{w1, w2} {
+		v, ok, timedOut := c.Inbox().RecvTimeout(5 * time.Second)
+		if !ok || timedOut {
+			t.Fatalf("%s never received the multicast", c.Name())
+		}
+		if v.(*broker.Envelope).Payload.(engine.MsgOffer).Job.ID != "j" {
+			t.Fatalf("multicast payload mangled: %#v", v)
+		}
+	}
+	if v, ok := w3.Inbox().TryRecv(); ok {
+		t.Fatalf("untargeted w3 received %#v", v)
+	}
+}
+
+// TestPublishAsyncPipelines: the future returns the subscriber count
+// without the caller having blocked on the round trip at publish time.
+func TestPublishAsyncPipelines(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+	pub, _ := Dial(srv.Addr(), "pub", 0, clk)
+	defer pub.Close()
+	sub, _ := Dial(srv.Addr(), "sub", 0, clk)
+	defer sub.Close()
+	sub.Subscribe("topic")
+	waitRegistered(t, srv, "pub", "sub")
+
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for time.Now().Before(deadline) {
+		waits := make([]func() int, 3)
+		for i := range waits {
+			waits[i] = pub.PublishAsync("topic", engine.MsgStop{})
+		}
+		n = 0
+		for _, wait := range waits {
+			n += wait()
+		}
+		if n == 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n != 3 {
+		t.Fatalf("three pipelined publishes acked %d total, want 3", n)
+	}
+}
+
+// TestAckTimeoutConfigurable dials a mute server (header echoed, acks
+// never sent) and requires Publish to give up after the configured
+// timeout — not the 10s default — leaving no ack entry behind.
+func TestAckTimeoutConfigurable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Echo the binary header, then swallow everything.
+		buf := make([]byte, 4096)
+		if _, err := io.ReadFull(conn, buf[:5]); err != nil {
+			return
+		}
+		if _, err := conn.Write(buf[:5]); err != nil {
+			return
+		}
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := DialOptions(ln.Addr().String(), "x", 0, vclock.NewReal(),
+		Options{AckTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if n := c.Publish("t", engine.MsgStop{}); n != 0 {
+		t.Errorf("Publish against mute server = %d", n)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Publish took %v; the 100ms AckTimeout was ignored", elapsed)
+	}
+	c.mu.Lock()
+	leaked := len(c.acks)
+	c.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d ack entries leaked after timeout", leaked)
+	}
+}
+
+// TestAckMapNoLeakOnEncodeFailure kills the connection under the
+// client and publishes: the encode/flush fails, Publish returns 0, and
+// the ack map must not retain the dead entry (the PR-8 leak fix).
+func TestAckMapNoLeakOnEncodeFailure(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), "x", 0, vclock.NewReal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.conn.Close() // sever the socket without closing the client
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n := c.Publish("t", engine.MsgStop{}); n != 0 {
+			t.Fatalf("Publish on severed connection = %d", n)
+		}
+		c.mu.Lock()
+		leaked := len(c.acks)
+		closed := c.closed
+		c.mu.Unlock()
+		if leaked != 0 {
+			t.Fatalf("%d ack entries leaked after encode failure", leaked)
+		}
+		if closed {
+			return // recvLoop noticed the dead socket; path fully covered
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlushWindowStillDelivers: with a flush window configured,
+// fire-and-forget sends coalesce but must still arrive.
+func TestFlushWindowStillDelivers(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewReal()
+	a, err := DialOptions(srv.Addr(), "a", 0, clk, Options{FlushWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(srv.Addr(), "b", 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	waitRegistered(t, srv, "a", "b")
+	for i := 0; i < 50; i++ {
+		if !a.Send("b", engine.MsgAccept{JobID: fmt.Sprintf("j%d", i), Worker: "a"}) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok, timedOut := b.Inbox().RecvTimeout(5 * time.Second); !ok || timedOut {
+			t.Fatalf("windowed send %d never arrived", i)
+		}
+	}
+	if stats := srv.WireStats(); stats.BytesIn == 0 || stats.BytesOut == 0 {
+		t.Errorf("WireStats = %+v, want nonzero traffic", stats)
 	}
 }

@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/gob"
+	"io"
+
+	"crossflow/internal/engine"
+)
+
+// Gob is the previous release's reflective codec: one gob stream per
+// direction, the Frame struct encoded as-is. It stays behind the Codec
+// seam for one release of compatibility — a headerless (old) client is
+// served with it, and a new client can be pinned to it against an old
+// server. Gob streams carry per-connection type-descriptor state, so
+// this codec has no stateless frame form (EncodeRaw returns ErrNoRaw)
+// and fanouts re-encode per connection.
+type Gob struct{}
+
+// Name implements Codec.
+func (Gob) Name() string { return CodecGob }
+
+// NewEncoder implements Codec.
+func (Gob) NewEncoder(w io.Writer) Encoder {
+	bw := bufio.NewWriterSize(w, 32<<10)
+	return &gobEncoder{bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+// NewDecoder implements Codec.
+func (Gob) NewDecoder(r *bufio.Reader) Decoder {
+	return gobDecoder{dec: gob.NewDecoder(r)}
+}
+
+type gobEncoder struct {
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+func (e *gobEncoder) Encode(f *Frame) error  { return e.enc.Encode(f) }
+func (e *gobEncoder) EncodeRaw([]byte) error { return ErrNoRaw }
+func (e *gobEncoder) Flush() error           { return e.bw.Flush() }
+func (e *gobEncoder) Buffered() int          { return e.bw.Buffered() }
+
+type gobDecoder struct {
+	dec *gob.Decoder
+}
+
+func (d gobDecoder) Decode(f *Frame) error { return d.dec.Decode(f) }
+
+func init() {
+	// The engine's protocol messages travel as gob interface values on
+	// the gob codec (and inside the binary codec's gob fallback, which
+	// application payload types reach). Same registration set as the
+	// previous release, so old and new gob streams interoperate.
+	gob.Register(engine.MsgRegister{})
+	gob.Register(engine.MsgRegisterAck{})
+	gob.Register(engine.MsgBidRequest{})
+	gob.Register(engine.MsgBid{})
+	gob.Register(engine.MsgAssign{})
+	gob.Register(engine.MsgOffer{})
+	gob.Register(engine.MsgAccept{})
+	gob.Register(engine.MsgReject{})
+	gob.Register(engine.MsgRequestJob{})
+	gob.Register(engine.MsgNoWork{})
+	gob.Register(engine.MsgJobDone{})
+	gob.Register(engine.MsgCacheEvict{})
+	gob.Register(engine.MsgEmit{})
+	gob.Register(engine.MsgStop{})
+	gob.Register(engine.MsgWorkerDead{})
+	gob.Register(engine.MsgDrain{})
+	gob.Register(engine.MsgLeave{})
+	gob.Register(&engine.Job{})
+}

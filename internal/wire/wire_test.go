@@ -1,0 +1,462 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/engine"
+)
+
+// roundTrip encodes f, decodes it, re-encodes the decoded frame, and
+// requires the two byte strings to be identical and the two frames
+// deeply equal — the byte-for-byte survival property the codec promises.
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	body, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	var got Frame
+	if err := ParseFrame(body, &got); err != nil {
+		t.Fatalf("ParseFrame: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", f, got)
+	}
+	body2, err := AppendFrame(nil, &got)
+	if err != nil {
+		t.Fatalf("re-AppendFrame: %v", err)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatalf("re-encode differs:\n first  %x\n second %x", body, body2)
+	}
+	return got
+}
+
+func testJob() *engine.Job {
+	return &engine.Job{
+		ID:         "job-1",
+		Stream:     "jobs",
+		Payload:    "block-17",
+		DataKey:    "hdfs://block-17",
+		DataSizeMB: 128.5,
+		ComputeMB:  64,
+		CostHint:   3 * time.Second,
+		Session:    "sess-a",
+	}
+}
+
+// wireMessages is one representative value per wire-crossing engine
+// message kind, with every field populated so a dropped field cannot
+// round-trip silently. TestEveryWireMessageHasFixedEncoder checks this
+// table against the parsed source of messages.go.
+func wireMessages() []any {
+	return []any{
+		engine.MsgRegister{Worker: "w1"},
+		engine.MsgRegisterAck{},
+		engine.MsgBidRequest{Job: testJob()},
+		engine.MsgBid{JobID: "j1", Worker: "w1", Estimate: 1500 * time.Millisecond, JobCost: 700 * time.Millisecond, Local: true},
+		engine.MsgAssign{Job: testJob(), EstimatedCost: 2 * time.Second},
+		engine.MsgOffer{Job: testJob()},
+		engine.MsgAccept{JobID: "j1", Worker: "w2"},
+		engine.MsgReject{JobID: "j1", Worker: "w3"},
+		engine.MsgRequestJob{Worker: "w1", CachedKeys: []string{"a", "b"}, Strikes: 2},
+		engine.MsgNoWork{Backoff: 250 * time.Millisecond},
+		engine.MsgCacheEvict{Worker: "w1", Keys: []string{"k1", "k2"}},
+		engine.MsgJobDone{
+			JobID:   "j1",
+			Worker:  "w1",
+			NewJobs: []*engine.Job{testJob(), nil},
+			Results: []any{"ok", 42, 3.5, true, []string{"x"}, nil},
+			Failed:  true,
+			Error:   "boom",
+		},
+		engine.MsgEmit{Job: testJob(), Worker: "w1"},
+		engine.MsgStop{},
+		engine.MsgDrain{},
+		engine.MsgLeave{Worker: "w9"},
+		engine.MsgWorkerDead{Worker: "w9"},
+	}
+}
+
+// localOnlyMessages are exported Msg kinds that never cross the wire:
+// they are produced and consumed inside one process (feeder hooks,
+// master self-timers), so the binary codec owes them no fixed encoder.
+var localOnlyMessages = map[string]bool{
+	"MsgInject":           true,
+	"MsgBidWindowExpired": true,
+	"MsgTick":             true,
+}
+
+// TestEveryWireMessageHasFixedEncoder is the completeness half of the
+// round-trip property: parse messages.go, and require every exported
+// message kind to either appear in wireMessages (with a fixed encoder —
+// not the gob fallback) or be explicitly listed as local-only. Adding a
+// message kind without extending the codec fails here.
+func TestEveryWireMessageHasFixedEncoder(t *testing.T) {
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseFile(fset, "../engine/messages.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing messages.go: %v", err)
+	}
+	declared := make(map[string]bool)
+	for _, decl := range parsed.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if strings.HasPrefix(ts.Name.Name, "Msg") {
+				declared[ts.Name.Name] = true
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("no exported message kinds found")
+	}
+	covered := make(map[string]bool)
+	for _, msg := range wireMessages() {
+		covered[reflect.TypeOf(msg).Name()] = true
+	}
+	for name := range declared {
+		if localOnlyMessages[name] {
+			if covered[name] {
+				t.Errorf("%s is listed both local-only and in the wire table", name)
+			}
+			continue
+		}
+		if !covered[name] {
+			t.Errorf("exported message kind %s has no round-trip coverage (add a fixed encoder or mark it local-only)", name)
+		}
+	}
+	for name := range covered {
+		if !declared[name] {
+			t.Errorf("wire table entry %s does not exist in messages.go", name)
+		}
+	}
+}
+
+// TestMsgRoundTripAllMessages sends every wire-crossing message kind
+// through a KindSend frame and requires byte-for-byte survival, and
+// that each uses its fixed encoder rather than the gob fallback.
+func TestMsgRoundTripAllMessages(t *testing.T) {
+	for _, msg := range wireMessages() {
+		name := reflect.TypeOf(msg).Name()
+		t.Run(name, func(t *testing.T) {
+			f := Frame{Kind: KindSend, To: "master", Payload: msg}
+			body, err := AppendFrame(nil, &f)
+			if err != nil {
+				t.Fatalf("AppendFrame: %v", err)
+			}
+			// Body layout for KindSend: kind byte, "master" as a
+			// uvarint-length string, then the payload's value tag.
+			tagOff := 1 + 1 + len("master")
+			if tag := body[tagOff]; tag == vGob {
+				t.Errorf("%s encoded via the gob fallback; wire-crossing kinds need fixed encoders", name)
+			}
+			roundTrip(t, f)
+		})
+	}
+}
+
+// TestFrameRoundTripAllKinds exercises every frame kind's field set.
+func TestFrameRoundTripAllKinds(t *testing.T) {
+	env := broker.Envelope{
+		From:    "master",
+		To:      "",
+		Topic:   "xflow.bids",
+		Payload: engine.MsgBidRequest{Job: testJob()},
+		SentAt:  time.Unix(1712345678, 987654321),
+	}
+	frames := map[string]Frame{
+		"hello":       {Kind: KindHello, Name: "w1", Link: 5 * time.Millisecond},
+		"send":        {Kind: KindSend, To: "master", Payload: engine.MsgBid{JobID: "j", Worker: "w1"}},
+		"publish":     {Kind: KindPublish, Seq: 7, Topic: "xflow.bids", Payload: engine.MsgBidRequest{Job: testJob()}},
+		"puback":      {Kind: KindPubAck, Seq: 7, Count: 32},
+		"puback-neg":  {Kind: KindPubAck, Seq: 8, Count: -1},
+		"subscribe":   {Kind: KindSubscribe, Topic: "xflow.control"},
+		"unsubscribe": {Kind: KindUnsubscribe, Topic: "xflow.control"},
+		"delivery":    {Kind: KindDelivery, Env: env},
+		"deregister":  {Kind: KindDeregister},
+		"sendmulti":   {Kind: KindSendMulti, Seq: 9, Targets: []string{"w1", "w2", "w3"}, Payload: engine.MsgBidRequest{Job: testJob()}},
+	}
+	for name, f := range frames {
+		t.Run(name, func(t *testing.T) { roundTrip(t, f) })
+	}
+}
+
+// TestGobFallbackPayload round-trips an application payload type (one
+// the codec has no fixed encoder for) through the embedded-gob path.
+type customPayload struct {
+	Name  string
+	Count int
+}
+
+func TestGobFallbackPayload(t *testing.T) {
+	Register(customPayload{})
+	f := Frame{Kind: KindSend, To: "master", Payload: customPayload{Name: "app", Count: 3}}
+	body, err := AppendFrame(nil, &f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	var got Frame
+	if err := ParseFrame(body, &got); err != nil {
+		t.Fatalf("ParseFrame: %v", err)
+	}
+	if !reflect.DeepEqual(f.Payload, got.Payload) {
+		t.Fatalf("payload mismatch: sent %#v got %#v", f.Payload, got.Payload)
+	}
+}
+
+// TestStreamRoundTrip pushes a burst of frames through one
+// encoder/decoder pair, checking the length-prefixed stream layer and
+// that nothing hits the wire before Flush.
+func TestStreamRoundTrip(t *testing.T) {
+	for _, codec := range []Codec{Binary{}, Gob{}} {
+		t.Run(codec.Name(), func(t *testing.T) {
+			var buf bytes.Buffer
+			enc := codec.NewEncoder(&buf)
+			sent := []Frame{
+				{Kind: KindHello, Name: "w1", Link: time.Millisecond},
+				{Kind: KindPublish, Seq: 1, Topic: "xflow.bids", Payload: engine.MsgBidRequest{Job: testJob()}},
+				{Kind: KindSend, To: "master", Payload: engine.MsgBid{JobID: "j", Worker: "w1", Estimate: time.Second}},
+			}
+			for _, f := range sent {
+				if err := enc.Encode(&f); err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+			}
+			if buf.Len() != 0 {
+				t.Fatalf("%d bytes on the wire before Flush", buf.Len())
+			}
+			if enc.Buffered() == 0 {
+				t.Fatal("Buffered() = 0 with three frames pending")
+			}
+			if err := enc.Flush(); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			dec := codec.NewDecoder(bufio.NewReader(&buf))
+			for i, want := range sent {
+				var got Frame
+				if err := dec.Decode(&got); err != nil {
+					t.Fatalf("Decode[%d]: %v", i, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("frame %d mismatch:\n sent %#v\n got  %#v", i, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeRawSharedBody checks the fanout path: one AppendFrame body
+// written through EncodeRaw on two encoders decodes identically on
+// both, and the gob codec refuses raw bodies with ErrNoRaw.
+func TestEncodeRawSharedBody(t *testing.T) {
+	env := broker.Envelope{From: "master", Topic: "xflow.bids", Payload: engine.MsgBidRequest{Job: testJob()}, SentAt: time.Unix(100, 0)}
+	body, err := AppendFrame(nil, &Frame{Kind: KindDelivery, Env: env})
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		enc := Binary{}.NewEncoder(&buf)
+		if err := enc.EncodeRaw(body); err != nil {
+			t.Fatalf("EncodeRaw: %v", err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		var got Frame
+		if err := (Binary{}).NewDecoder(bufio.NewReader(&buf)).Decode(&got); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !reflect.DeepEqual(got.Env, env) {
+			t.Fatalf("envelope mismatch: %#v", got.Env)
+		}
+	}
+	var buf bytes.Buffer
+	if err := (Gob{}).NewEncoder(&buf).EncodeRaw(body); err != ErrNoRaw {
+		t.Fatalf("gob EncodeRaw error = %v, want ErrNoRaw", err)
+	}
+}
+
+// --- negotiation ------------------------------------------------------------
+
+// TestNegotiationBinaryClient: a header-bearing connection negotiates
+// the binary codec and the following frames decode.
+func TestNegotiationBinaryClient(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, Binary{}); err != nil {
+		t.Fatalf("WriteHeader: %v", err)
+	}
+	enc := Binary{}.NewEncoder(&buf)
+	if err := enc.Encode(&Frame{Kind: KindHello, Name: "w1"}); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	br := bufio.NewReader(&buf)
+	codec, err := ReadHeader(br)
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if codec.Name() != CodecBinary {
+		t.Fatalf("negotiated %q, want binary", codec.Name())
+	}
+	var hello Frame
+	if err := codec.NewDecoder(br).Decode(&hello); err != nil {
+		t.Fatalf("Decode hello: %v", err)
+	}
+	if hello.Kind != KindHello || hello.Name != "w1" {
+		t.Fatalf("hello = %#v", hello)
+	}
+}
+
+// TestNegotiationLegacyGobClient: a headerless connection — the
+// previous release's opening bytes — negotiates gob and the stream
+// decodes intact (the peek must not consume anything).
+func TestNegotiationLegacyGobClient(t *testing.T) {
+	var buf bytes.Buffer
+	enc := Gob{}.NewEncoder(&buf)
+	if err := enc.Encode(&Frame{Kind: KindHello, Name: "old-worker", Link: time.Millisecond}); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	br := bufio.NewReader(&buf)
+	codec, err := ReadHeader(br)
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if codec.Name() != CodecGob {
+		t.Fatalf("negotiated %q, want gob", codec.Name())
+	}
+	var hello Frame
+	if err := codec.NewDecoder(br).Decode(&hello); err != nil {
+		t.Fatalf("Decode hello after peek: %v", err)
+	}
+	if hello.Name != "old-worker" {
+		t.Fatalf("hello = %#v", hello)
+	}
+}
+
+func TestNegotiationRejectsUnknownVersion(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{'X', 'F', 'W', Version + 1, codecIDBinary})
+	if _, err := ReadHeader(bufio.NewReader(buf)); err == nil {
+		t.Fatal("ReadHeader accepted an unknown protocol version")
+	}
+	buf = bytes.NewBuffer([]byte{'X', 'F', 'W', Version, 'z'})
+	if _, err := ReadHeader(bufio.NewReader(buf)); err == nil {
+		t.Fatal("ReadHeader accepted an unknown codec id")
+	}
+}
+
+func TestExpectHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, Binary{}); err != nil {
+		t.Fatalf("WriteHeader: %v", err)
+	}
+	if err := ExpectHeader(bufio.NewReader(&buf)); err != nil {
+		t.Fatalf("ExpectHeader on echoed header: %v", err)
+	}
+	// A gob server never echoes the header; its first bytes are the gob
+	// stream, and the client must fail loudly rather than misparse.
+	var gobBuf bytes.Buffer
+	genc := Gob{}.NewEncoder(&gobBuf)
+	_ = genc.Encode(&Frame{Kind: KindDelivery})
+	_ = genc.Flush()
+	if err := ExpectHeader(bufio.NewReader(&gobBuf)); err == nil {
+		t.Fatal("ExpectHeader accepted a gob stream")
+	}
+}
+
+// --- hostile input ----------------------------------------------------------
+
+func TestDecodeRejectsOversizeFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrame+1)
+	dec := Binary{}.NewDecoder(bufio.NewReader(bytes.NewReader(hdr[:])))
+	var f Frame
+	if err := dec.Decode(&f); err == nil {
+		t.Fatal("Decode accepted a frame beyond MaxFrame")
+	}
+}
+
+func TestEncodeRejectsUnknownKind(t *testing.T) {
+	if _, err := AppendFrame(nil, &Frame{Kind: 200}); err == nil {
+		t.Fatal("AppendFrame accepted an unknown kind")
+	}
+}
+
+func TestParseRejectsTrailingBytes(t *testing.T) {
+	body, err := AppendFrame(nil, &Frame{Kind: KindDeregister})
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	if err := ParseFrame(append(body, 0xff), &Frame{}); err == nil {
+		t.Fatal("ParseFrame accepted trailing bytes")
+	}
+}
+
+// TestParseBoundsCollectionCounts: a sendmulti header claiming 2^30
+// targets in a 16-byte body must be rejected before any allocation.
+func TestParseBoundsCollectionCounts(t *testing.T) {
+	body := []byte{KindSendMulti}
+	body = binary.AppendUvarint(body, 1)       // seq
+	body = binary.AppendUvarint(body, 1<<30)   // targets count
+	body = append(body, 1, 'x', vNil, 0, 0, 0) // filler
+	if err := ParseFrame(body, &Frame{}); err == nil {
+		t.Fatal("ParseFrame accepted a collection count beyond the input size")
+	}
+}
+
+// TestGobStreamCompat: the current Frame gob-decodes bytes produced by
+// the previous release's frame struct (same field set minus Targets) —
+// gob matches by field name, which is what the one-release compat
+// window relies on. The old shape is replicated locally.
+func TestGobStreamCompat(t *testing.T) {
+	type frame struct { // the previous release's wire struct
+		Kind    byte
+		Seq     uint64
+		Name    string
+		To      string
+		Topic   string
+		Link    time.Duration
+		Count   int
+		Env     broker.Envelope
+		Payload any
+	}
+	var buf bytes.Buffer
+	genc := gob.NewEncoder(&buf)
+	old := frame{Kind: KindPublish, Seq: 3, Topic: "xflow.bids", Payload: engine.MsgBidRequest{Job: testJob()}}
+	if err := genc.Encode(old); err != nil {
+		t.Fatalf("encoding old-shape frame: %v", err)
+	}
+	var got Frame
+	if err := (Gob{}).NewDecoder(bufio.NewReader(&buf)).Decode(&got); err != nil {
+		t.Fatalf("decoding old-shape frame with new codec: %v", err)
+	}
+	if got.Kind != KindPublish || got.Seq != 3 || got.Topic != "xflow.bids" {
+		t.Fatalf("frame = %#v", got)
+	}
+	if !reflect.DeepEqual(got.Payload, old.Payload) {
+		t.Fatalf("payload = %#v", got.Payload)
+	}
+}
