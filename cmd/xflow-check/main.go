@@ -35,6 +35,7 @@ func main() {
 		policy   = flag.String("policy", "", "comma-separated policy names (default: all)")
 		depth    = flag.Int("depth", 0, "max scheduling decisions per run (0 = unbounded; pull policies default to 25)")
 		maxRuns  = flag.Int("max-runs", 0, "max executions per policy (0 = unbounded)")
+		shards   = flag.Int("shards", 0, "contest shards for the sharded control plane (0 or 1 = classic single master)")
 		kill     = flag.String("kill", "", "kill this worker at every explored point (e.g. w1)")
 		drain    = flag.String("drain", "", "gracefully drain this worker at every explored point")
 		join     = flag.Bool("join", false, "add one worker (j0) joining at every explored point")
@@ -58,7 +59,7 @@ func main() {
 
 	exit := 0
 	for _, pol := range pols {
-		if !check(pol, *workers, *jobs, *kill, *drain, *join, *depth, *maxRuns, *noPOR, *bug, *out, *progress) {
+		if !check(pol, *workers, *jobs, *shards, *kill, *drain, *join, *depth, *maxRuns, *noPOR, *bug, *out, *progress) {
 			exit = 1
 			break
 		}
@@ -68,11 +69,12 @@ func main() {
 
 // check explores one policy's bounded state space. It returns false on
 // an invariant violation (after writing the counterexample file).
-func check(pol core.Policy, workers, jobs int, kill, drain string, join bool,
+func check(pol core.Policy, workers, jobs, shards int, kill, drain string, join bool,
 	depth, maxRuns int, noPOR, bug bool, out string, progress bool) bool {
 
 	sc := modelcheck.BoundedScenario(modelcheck.Bounds{
-		Workers: workers, Jobs: jobs, Kill: kill, Drain: drain, Join: join,
+		Workers: workers, Jobs: jobs, Shards: shards,
+		Kill: kill, Drain: drain, Join: join,
 	}, pol)
 	if modelcheck.UsesPullTimers(pol) {
 		// Pull heartbeats re-arm forever; unbounded exploration would

@@ -34,6 +34,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload seed")
 		scale      = flag.Float64("time-scale", 100, "clock compression factor (1 = real time)")
 		runs       = flag.Int("runs", 1, "workflow runs to stream over one long-lived master (serve mode when > 1)")
+		shards     = flag.Int("shards", 0, "contest shards in serve mode (0 or 1 = single master; requires -runs > 1)")
 	)
 	flag.Parse()
 
@@ -57,8 +58,24 @@ func main() {
 	defer port.Close()
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *shards > 1 && *runs <= 1 {
+		fmt.Fprintln(os.Stderr, "xflow-master: -shards needs serve mode (-runs > 1)")
+		os.Exit(1)
+	}
 	if *runs > 1 {
-		serve(clk, port, pol, jc, *jobs, *seed, *workers, *runs, rng)
+		// Each contest shard is its own broker endpoint; the frontend
+		// router keeps the MasterName port the workers already address.
+		var shardPorts []engine.Port
+		for i := 0; i < *shards; i++ {
+			sp, err := transport.Dial(*brokerAddr, engine.ShardName(i), 0, clk)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xflow-master: dial shard:", err)
+				os.Exit(1)
+			}
+			defer sp.Close()
+			shardPorts = append(shardPorts, sp)
+		}
+		serve(clk, port, shardPorts, pol, jc, *jobs, *seed, *workers, *runs, rng)
 		return
 	}
 
@@ -74,16 +91,36 @@ func main() {
 	printReport("Run report (master view)", master.Report(), time.Since(start))
 }
 
+// servePlane is the slice of the control-plane surface serve needs; a
+// single ClusterMaster and a ShardedMaster both provide it.
+type servePlane interface {
+	WaitReady()
+	OpenSession(id string, wf *engine.Workflow) *engine.MasterSession
+	Shutdown()
+}
+
 // serve runs a long-lived cluster master: one fleet, *runs* workflow
 // sessions streamed through it back to back, a per-session report each.
-func serve(clk vclock.Clock, port engine.Port, pol core.Policy,
+// With shard ports it runs the sharded control plane instead: the
+// frontend router on the master port, one contest shard per shard port.
+func serve(clk vclock.Clock, port engine.Port, shardPorts []engine.Port, pol core.Policy,
 	jc workload.JobConfig, jobs int, seed int64, workers, runs int, rng *rand.Rand) {
-	master := engine.NewClusterMaster(clk, port, pol.NewAllocator(), workers, rng)
-	fmt.Printf("xflow-master: serve mode, %s scheduler, %d runs x %d jobs (%s), waiting for %d workers…\n",
-		pol.Name, runs, jobs, jc, workers)
+	var master servePlane
+	if len(shardPorts) > 1 {
+		sharded := engine.NewShardedClusterMaster(clk, port, shardPorts, pol.NewAllocator, workers, rng)
+		fmt.Printf("xflow-master: serve mode, %s scheduler, %d contest shards, %d runs x %d jobs (%s), waiting for %d workers…\n",
+			pol.Name, len(shardPorts), runs, jobs, jc, workers)
+		sharded.Start()
+		master = sharded
+	} else {
+		single := engine.NewClusterMaster(clk, port, pol.NewAllocator(), workers, rng)
+		fmt.Printf("xflow-master: serve mode, %s scheduler, %d runs x %d jobs (%s), waiting for %d workers…\n",
+			pol.Name, runs, jobs, jc, workers)
+		clk.Go(single.Run)
+		master = single
+	}
 
 	start := time.Now()
-	clk.Go(master.Run)
 	clk.Go(func() {
 		master.WaitReady()
 		for r := 0; r < runs; r++ {

@@ -47,6 +47,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.35, "relative growth a gating metric may show before it fails the comparison")
 		jobs      = flag.Int("jobs", 800, "jobs per measured run")
 		fleets    = flag.String("fleets", "8,32", "comma-separated worker counts to measure")
+		shardRows = flag.String("shard-ladder", "2,4", "shard counts for the sharded-control-plane rows on the largest fleet (empty = skip)")
 		codecs    = flag.String("codecs", "binary,gob", "codecs to run (drop one to profile the other in isolation)")
 		repeat    = flag.Int("repeat", 2, "runs per (codec, fleet); the fastest is kept")
 		scale     = flag.Float64("time-scale", 1000, "clock compression factor for the engine clocks")
@@ -104,12 +105,12 @@ func main() {
 		gob := runResult{elapsed: 1<<63 - 1}
 		for i := 0; i < *repeat; i++ {
 			if runBinary {
-				if r := runOnce("binary", w, *jobs, *scale, *window); r.elapsed < bin.elapsed {
+				if r := runOnce("binary", w, 1, *jobs, *scale, *window); r.elapsed < bin.elapsed {
 					bin = r
 				}
 			}
 			if runGob {
-				if r := runOnce("gob", w, *jobs, *scale, *window); r.elapsed < gob.elapsed {
+				if r := runOnce("gob", w, 1, *jobs, *scale, *window); r.elapsed < gob.elapsed {
 					gob = r
 				}
 			}
@@ -145,6 +146,44 @@ func main() {
 			fmt.Printf("  %s=%.2f", k, res.Metrics[k])
 		}
 		fmt.Println()
+	}
+
+	// Sharded-control-plane rows: the largest fleet again, but with the
+	// master split into S contest shards behind the frontend router. On
+	// this real deployment the shard loops (and their broker
+	// connections) run on parallel OS threads, so these rows are where a
+	// control-plane-bound fleet shows sharding's throughput win — the
+	// simulated-clock ladder in cmd/xflow-bench can only price the extra
+	// hop, since its kernel serializes every delivery. Binary codec
+	// only: the codec delta is already measured by the wire_w* rows.
+	if runBinary && *shardRows != "" && len(sizes) > 0 {
+		w := sizes[len(sizes)-1]
+		for _, s := range strings.Split(*shardRows, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				fatalf("bad -shard-ladder entry %q", s)
+			}
+			best := runResult{elapsed: 1<<63 - 1}
+			for i := 0; i < *repeat; i++ {
+				if r := runOnce("binary", w, n, *jobs, *scale, *window); r.elapsed < best.elapsed {
+					best = r
+				}
+			}
+			res := perf.Result{
+				Name:       fmt.Sprintf("wire_shard_s%d_w%d", n, w),
+				Group:      "wire",
+				Iterations: *jobs,
+				NsPerOp:    float64(best.elapsed.Nanoseconds()) / float64(*jobs),
+				Metrics: map[string]float64{
+					"wire_jobs_per_sec":  float64(*jobs) / best.elapsed.Seconds(),
+					"wire_bytes_per_job": float64(best.bytes) / float64(*jobs),
+				},
+			}
+			file.Results = append(file.Results, res)
+			fmt.Printf("%-16s %8d jobs %14.1f ns/job  wire_bytes_per_job=%.2f  wire_jobs_per_sec=%.2f\n",
+				res.Name, res.Iterations, res.NsPerOp,
+				res.Metrics["wire_bytes_per_job"], res.Metrics["wire_jobs_per_sec"])
+		}
 	}
 
 	if *out != "" {
@@ -195,8 +234,10 @@ type runResult struct {
 // runOnce stands up one full deployment — broker, master, and a fleet of
 // worker processes — pushes a job batch through a session, and measures
 // wall time from fleet-ready to session report plus the broker's byte
-// counters over the same span.
-func runOnce(codec string, workers, jobs int, scale float64, window time.Duration) runResult {
+// counters over the same span. shards > 1 replaces the single master
+// with the sharded control plane: the frontend router keeps the master
+// name, and each contest shard dials its own broker connection.
+func runOnce(codec string, workers, shards, jobs int, scale float64, window time.Duration) runResult {
 	srv, err := transport.Serve("127.0.0.1:0")
 	if err != nil {
 		fatalf("serve: %v", err)
@@ -236,10 +277,34 @@ func runOnce(codec string, workers, jobs int, scale float64, window time.Duratio
 	if !ok {
 		fatalf("bidding policy unavailable")
 	}
-	master := engine.NewClusterMaster(clk, port, pol.NewAllocator(), workers, rand.New(rand.NewSource(1)))
+	type plane interface {
+		WaitReady()
+		OpenSession(id string, wf *engine.Workflow) *engine.MasterSession
+		Shutdown()
+	}
+	var master plane
+	if shards > 1 {
+		var shardPorts []engine.Port
+		for i := 0; i < shards; i++ {
+			sp, err := transport.DialOptions(srv.Addr(), engine.ShardName(i), 0, clk,
+				transport.Options{Codec: codec, FlushWindow: window})
+			if err != nil {
+				fatalf("dial shard: %v", err)
+			}
+			defer sp.Close()
+			shardPorts = append(shardPorts, sp)
+		}
+		sharded := engine.NewShardedClusterMaster(clk, port, shardPorts,
+			pol.NewAllocator, workers, rand.New(rand.NewSource(1)))
+		sharded.Start()
+		master = sharded
+	} else {
+		single := engine.NewClusterMaster(clk, port, pol.NewAllocator(), workers, rand.New(rand.NewSource(1)))
+		clk.Go(single.Run)
+		master = single
+	}
 
 	done := make(chan runResult, 1)
-	clk.Go(master.Run)
 	clk.Go(func() {
 		master.WaitReady()
 		before := srv.WireStats()

@@ -209,6 +209,11 @@ type Config struct {
 	Workers []*Worker
 	// Scheduler is the allocation policy (see Bidding, Baseline, …).
 	Scheduler Scheduler
+	// Shards > 1 partitions the control plane into that many contest
+	// shards keyed by content hash of each job's data key; every shard
+	// runs its own instance of the Scheduler's allocator over its
+	// partition. 0 or 1 runs the classic single master.
+	Shards int
 	// Workflow is the task graph.
 	Workflow *Workflow
 	// Arrivals is the input job stream.
@@ -234,16 +239,18 @@ func Run(cfg Config) (*Report, error) {
 		return nil, errors.New("crossflow: Config.Scheduler must be one of the provided schedulers")
 	}
 	ecfg := engine.Config{
-		Clock:      cfg.Clock,
-		Workers:    cfg.Workers,
-		Allocator:  cfg.Scheduler.NewAllocator(),
-		NewAgent:   cfg.Scheduler.NewAgent,
-		Workflow:   cfg.Workflow,
-		Arrivals:   cfg.Arrivals,
-		Hub:        cfg.Hub,
-		MasterLink: cfg.MasterLink,
-		Seed:       cfg.Seed,
-		Kills:      cfg.Kills,
+		Clock:        cfg.Clock,
+		Workers:      cfg.Workers,
+		Allocator:    cfg.Scheduler.NewAllocator(),
+		Shards:       cfg.Shards,
+		NewAllocator: cfg.Scheduler.NewAllocator,
+		NewAgent:     cfg.Scheduler.NewAgent,
+		Workflow:     cfg.Workflow,
+		Arrivals:     cfg.Arrivals,
+		Hub:          cfg.Hub,
+		MasterLink:   cfg.MasterLink,
+		Seed:         cfg.Seed,
+		Kills:        cfg.Kills,
 	}
 	if cfg.Trace != nil {
 		ecfg.Tracer = cfg.Trace

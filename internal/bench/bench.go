@@ -58,6 +58,9 @@ func Suite() []Spec {
 		{"fleet_w500_bidding_topk", "scale", benchFleetScaling(500, crossflow.BiddingTopK)},
 		{"fleet_w2000_bidding", "scale", benchFleetScaling(2000, crossflow.Bidding)},
 		{"fleet_w2000_bidding_topk", "scale", benchFleetScaling(2000, crossflow.BiddingTopK)},
+		{"fleet_shard_s1_w500", "scale", benchShardScaling(1, 500)},
+		{"fleet_shard_s2_w500", "scale", benchShardScaling(2, 500)},
+		{"fleet_shard_s4_w500", "scale", benchShardScaling(4, 500)},
 		{"figure2_group1_fastslow_large", "experiment", benchFigure2Group1},
 		{"figure3_rep80small_fastslow", "experiment", benchFigure3Cell},
 	}
@@ -371,6 +374,63 @@ func benchFleetScaling(fleet int, sched func() crossflow.Scheduler) func(b *test
 		b.ReportMetric(msgsPerJob, "contest_msgs_per_job")
 		b.ReportMetric(kbPerJob, "contest_kb_per_job")
 		b.ReportMetric(missesPerJob, "cache_misses_per_job")
+		if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+			b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
+		}
+	}
+}
+
+// benchShardScaling measures the sharded control plane against the
+// single master it replaces: the same 500-worker fleet and 240-job,
+// 60-key workload, dispatched through S contest shards. Arrivals come
+// in bursts of 8 jobs at the same instant: the simulated clock runs
+// same-instant events on parallel OS threads, so a burst's contests —
+// and the 500 bids each one draws — land on one serialized master loop
+// at S=1 but spread across shard loops at S>1. That burst contention is
+// the workload a sharded control plane exists to absorb, and the
+// jobs-per-second delta across the ladder is the price/win of the
+// router hop versus parallel contest processing. S=1 is the classic
+// single master, the ladder's baseline row.
+func benchShardScaling(shards, fleet int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const (
+			jobs  = 240
+			keys  = 60
+			burst = 8
+		)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			workers := make([]*crossflow.Worker, fleet)
+			for j := range workers {
+				workers[j] = crossflow.NewWorker(crossflow.WorkerSpec{
+					Name: fmt.Sprintf("w%04d", j),
+					Net:  crossflow.Speed{BaseMBps: 25},
+					RW:   crossflow.Speed{BaseMBps: 100},
+					Seed: int64(j + 1),
+				})
+			}
+			wf := crossflow.NewWorkflow("bench")
+			wf.MustAddTask(crossflow.TaskSpec{Name: "t", Input: "jobs"})
+			arrivals := make([]crossflow.Arrival, jobs)
+			for j := range arrivals {
+				arrivals[j] = crossflow.Arrival{
+					At: time.Duration(j/burst) * 800 * time.Millisecond,
+					Job: &crossflow.Job{
+						Stream: "jobs", DataKey: fmt.Sprintf("r%d", j%keys), DataSizeMB: 100,
+					},
+				}
+			}
+			rep, err := crossflow.Run(crossflow.Config{
+				Workers: workers, Scheduler: crossflow.Bidding(), Shards: shards,
+				Workflow: wf, Arrivals: arrivals,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.JobsCompleted != jobs {
+				b.Fatalf("completed %d of %d", rep.JobsCompleted, jobs)
+			}
+		}
 		if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
 			b.ReportMetric(float64(b.N*jobs)/elapsed, "sim_jobs_per_sec")
 		}

@@ -504,6 +504,17 @@ func (ep *Endpoint) Unsubscribe(topic string) { ep.broker.unsubscribe(ep, topic)
 // sends to or from it are dropped until Reconnect.
 func (ep *Endpoint) Disconnect() { ep.broker.setDown(ep, true) }
 
+// Down reports whether the endpoint is currently disconnected or
+// deregistered. The sharded control plane's router consults it before
+// forwarding worker traffic into a shard's inbox, so a partitioned
+// shard loses that traffic exactly the way the broker would have lost a
+// direct send to it.
+func (ep *Endpoint) Down() bool {
+	ep.broker.mu.Lock()
+	defer ep.broker.mu.Unlock()
+	return ep.down
+}
+
 // Deregister removes the endpoint from the broker for good, freeing its
 // name for re-registration. See Broker.Deregister.
 func (ep *Endpoint) Deregister() { ep.broker.Deregister(ep.name) }

@@ -23,8 +23,20 @@ type ClusterConfig struct {
 	// register before sessions start flowing. May be empty — an all-join
 	// cluster forms entirely at runtime.
 	Workers []*WorkerState
-	// Allocator is the master-side policy.
+	// Allocator is the master-side policy. Ignored when Shards > 1 —
+	// every contest shard then builds its own instance via NewAllocator.
 	Allocator Allocator
+	// Shards > 1 partitions the control plane into that many contest
+	// shards: a frontend router on the master endpoint partitions jobs
+	// by content hash of their data key across shard masters, each
+	// owning its partition's contests, locindex slice, and load
+	// accounting. 0 or 1 runs the classic single master, bit-compatible
+	// with historical runs.
+	Shards int
+	// NewAllocator builds one allocator per contest shard. Required when
+	// Shards > 1 (allocators hold per-partition state and cannot be
+	// shared); ignored otherwise.
+	NewAllocator func() Allocator
 	// NewAgent builds the matching worker-side policy per node.
 	NewAgent func(st *WorkerState) Agent
 	// Hub optionally provides the synthetic GitHub to task bodies.
@@ -67,8 +79,12 @@ type clusterMember struct {
 // Wait. On a simulated clock, everything that blocks (Drain,
 // MasterSession.Wait) must run on a clock-tracked goroutine (clk.Go).
 type Cluster struct {
-	clk    vclock.Clock
-	bus    *broker.Broker
+	clk vclock.Clock
+	bus *broker.Broker
+	// plane drives the control plane: the single master itself, or the
+	// sharded frontend. master is the plane when unsharded, nil when
+	// Shards > 1.
+	plane  controlPlane
 	master *Master
 	cfg    ClusterConfig
 	// defaultWF is the workflow joiners inherit when a job carries no
@@ -89,7 +105,11 @@ type Cluster struct {
 // deterministic replay surface, so batch runs built here are
 // bit-compatible with the historical Run.
 func newCluster(cfg ClusterConfig, batch *batchSpec) (*Cluster, error) {
-	if cfg.Allocator == nil {
+	if cfg.Shards > 1 {
+		if cfg.NewAllocator == nil {
+			return nil, errors.New("engine: sharded cluster needs an allocator factory")
+		}
+	} else if cfg.Allocator == nil {
 		return nil, errors.New("engine: no allocator configured")
 	}
 	if cfg.NewAgent == nil {
@@ -112,19 +132,38 @@ func newCluster(cfg ClusterConfig, batch *batchSpec) (*Cluster, error) {
 	}
 	masterEp := bus.Register(MasterName, cfg.MasterLink)
 	var master *Master
+	var plane controlPlane
 	var defaultWF *Workflow
-	if batch != nil {
+	if cfg.Shards > 1 {
+		// Shard endpoints register right after the master's, before any
+		// worker, so their mailbox creation order is deterministic.
+		shardPorts := make([]Port, cfg.Shards)
+		for i := range shardPorts {
+			shardPorts[i] = bus.Register(ShardName(i), cfg.MasterLink)
+		}
+		if batch != nil {
+			plane = newShardedMaster(clk, masterEp, shardPorts, cfg.NewAllocator,
+				batch.wf, batch.arrivals, len(cfg.Workers), rng)
+			defaultWF = batch.wf
+		} else {
+			plane = NewShardedClusterMaster(clk, masterEp, shardPorts,
+				cfg.NewAllocator, len(cfg.Workers), rng)
+		}
+	} else if batch != nil {
 		master = newMaster(clk, masterEp, cfg.Allocator, batch.wf,
 			batch.arrivals, len(cfg.Workers), rng)
 		defaultWF = batch.wf
+		plane = master
 	} else {
 		master = NewClusterMaster(clk, masterEp, cfg.Allocator, len(cfg.Workers), rng)
+		plane = master
 	}
-	master.tracer = cfg.Tracer
+	plane.setTracer(cfg.Tracer)
 
 	c := &Cluster{
 		clk:       clk,
 		bus:       bus,
+		plane:     plane,
 		master:    master,
 		cfg:       cfg,
 		defaultWF: defaultWF,
@@ -159,7 +198,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 func (c *Cluster) Clock() vclock.Clock { return c.clk }
 
 // Master returns the cluster's master, for callers that need direct
-// access (readiness waits, low-level injection in tests).
+// access (readiness waits, low-level injection in tests). Nil on a
+// sharded cluster, whose control plane has no single master.
 func (c *Cluster) Master() *Master { return c.master }
 
 // Start launches the master and the initial fleet. All start-up happens
@@ -175,7 +215,9 @@ func (c *Cluster) Start() {
 	initial := append([]string(nil), c.order...)
 	c.mu.Unlock()
 	c.clk.Go(func() {
-		c.clk.Go(c.master.run)
+		for _, loop := range c.plane.loops() {
+			c.clk.Go(loop)
+		}
 		for _, name := range initial {
 			c.mu.Lock()
 			mem := c.members[name]
@@ -188,7 +230,7 @@ func (c *Cluster) Start() {
 // WaitReady blocks until the initial fleet has registered (cluster mode
 // only; see Master.WaitReady). Call from a clock-tracked goroutine on a
 // simulated clock.
-func (c *Cluster) WaitReady() { c.master.WaitReady() }
+func (c *Cluster) WaitReady() { c.plane.WaitReady() }
 
 // Open starts a streaming workflow session: Submit jobs on the returned
 // feed, Close it, then Wait for the session's report. Sessions on the
@@ -205,7 +247,7 @@ func (c *Cluster) Open(id string, wf *Workflow) (*MasterSession, error) {
 	}
 	c.wfs[id] = wf
 	c.mu.Unlock()
-	return c.master.OpenSession(id, wf), nil
+	return c.plane.OpenSession(id, wf), nil
 }
 
 // Join adds a worker to the running fleet. The node registers through
@@ -243,7 +285,7 @@ func (c *Cluster) Join(st *WorkerState) (*Worker, error) {
 // and frees its name. Drain blocks until the departure is settled; on a
 // simulated clock call it from a clock-tracked goroutine.
 func (c *Cluster) Drain(name string) {
-	ack := c.master.Drain(name)
+	ack := c.plane.Drain(name)
 	ack.Recv()
 	c.forget(name)
 }
@@ -259,7 +301,7 @@ func (c *Cluster) Leave(name string) {
 		return
 	}
 	mem.w.kill()
-	c.master.Inject(MsgWorkerDead{Worker: name})
+	c.plane.Inject(MsgWorkerDead{Worker: name})
 	c.forget(name)
 }
 
@@ -283,7 +325,7 @@ func (c *Cluster) forget(name string) {
 // Stop shuts the cluster down: the master publishes MsgStop to the
 // fleet, flushes a final report to every session still waiting, and
 // exits its loop. Follow with Wait to join all goroutines.
-func (c *Cluster) Stop() { c.master.Shutdown() }
+func (c *Cluster) Stop() { c.plane.Shutdown() }
 
 // Wait blocks until every tracked goroutine has finished — after Stop,
 // that is full quiescence. On a simulated clock this is also what

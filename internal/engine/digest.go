@@ -111,7 +111,7 @@ func (w *Worker) StateDigest() string {
 // still state.
 func (c *Cluster) StateDigest() string {
 	var b strings.Builder
-	b.WriteString(c.master.StateDigest())
+	b.WriteString(c.plane.StateDigest())
 	c.mu.Lock()
 	order := append([]string(nil), c.order...)
 	c.mu.Unlock()
@@ -152,6 +152,9 @@ func (msgShutdown) EventDetail() string      { return "shutdown" }
 func (m msgOpenSession) EventDetail() string { return "open-session " + m.s.id }
 func (m msgSubmit) EventDetail() string      { return "submit " + m.s.id + " " + m.job.ID }
 func (m msgCloseFeed) EventDetail() string   { return "close-feed " + m.s.id }
+func (m msgShardSettled) EventDetail() string {
+	return fmt.Sprintf("shard-settled %s sess=%q new=%d", m.JobID, m.Sess, len(m.NewJobs))
+}
 
 func (m MsgBid) EventDetail() string {
 	return fmt.Sprintf("bid %s %s est=%d job=%d local=%t", m.JobID, m.Worker, m.Estimate, m.JobCost, m.Local)

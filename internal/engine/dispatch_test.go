@@ -137,6 +137,7 @@ func TestMasterDispatchAcceptsEveryKind(t *testing.T) {
 		msgSubmit{s: sess(), job: &Job{ID: "sub", Stream: "jobs"}},
 		msgCloseFeed{s: sess()},
 		msgDrainStart{worker: "w1"},
+		msgShardSettled{JobID: "j1"},
 		msgShutdown{},
 		msgAbort{},
 	}

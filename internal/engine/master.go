@@ -38,6 +38,23 @@ type Master struct {
 	// bid from a dead worker may win its contest). Test-only: it exists
 	// so the model checker's counterexample path stays demonstrable.
 	staleBidBug bool
+	// muteStop suppresses the fleet-wide MsgStop publish on this
+	// master's shutdown paths. The sharded control plane sets it on
+	// every shard part: the frontend router owns the single stop
+	// broadcast, and N extra publishes would stop workers early.
+	muteStop bool
+	// settle, when non-nil, replaces local re-injection of downstream
+	// jobs with a notice to the sharded frontend: every terminal job is
+	// reported (together with the task's NewJobs) so the router can
+	// re-partition downstream work by content hash and track plane-wide
+	// completion. Nil on an unsharded master — behavior is unchanged.
+	settle func(jobID string, s *session, newJobs []*Job)
+	// traceShard and traceSeq stamp emitted trace events with this
+	// master's shard ordinal (1-based; 0 = unsharded) and a per-master
+	// sequence number, giving a sharded run's interleaved trace a
+	// deterministic global order (see TraceLog.Events).
+	traceShard int
+	traceSeq   int
 
 	// autoStop distinguishes batch mode (exit when the default session
 	// completes) from cluster mode (run until Shutdown).
@@ -197,6 +214,8 @@ func (m *Master) Report() *Report {
 		Bids:          s.bids,
 		Fallbacks:     s.fallbacks,
 		Records:       m.records,
+		allocLatency:  s.allocLatency,
+		allocCount:    s.allocCount,
 	}
 	if s.allocCount > 0 {
 		rep.MeanAllocLatency = s.allocLatency / time.Duration(s.allocCount)
@@ -223,6 +242,8 @@ func (m *Master) sessionReport(s *session) *Report {
 		Bids:          s.bids,
 		Fallbacks:     s.fallbacks,
 		Records:       make(map[string]*JobRecord),
+		allocLatency:  s.allocLatency,
+		allocCount:    s.allocCount,
 	}
 	for _, id := range m.order {
 		if rec := m.records[id]; rec.sess == s {
@@ -263,6 +284,7 @@ func (m *Master) run() {
 func (m *Master) handle(env *broker.Envelope) (done bool) {
 	//xflow:dispatch master
 	switch msg := env.Payload.(type) {
+	//xflow:unhandled msgShardSettled consumed only by the sharded frontend's router loop; shard parts emit it and never receive it
 	case MsgRegister:
 		m.onRegister(msg.Worker)
 	case MsgInject:
@@ -327,14 +349,18 @@ func (m *Master) handle(env *broker.Envelope) (done bool) {
 	case msgShutdown:
 		m.finished = true
 		m.def.endTime = m.clk.Now()
-		m.ep.Publish(TopicControl, MsgStop{})
+		if !m.muteStop {
+			m.ep.Publish(TopicControl, MsgStop{})
+		}
 		m.flushWaiters()
 		return true
 	case msgAbort:
 		m.aborted = true
 		m.finished = true
 		m.def.endTime = m.clk.Now()
-		m.ep.Publish(TopicControl, MsgStop{})
+		if !m.muteStop {
+			m.ep.Publish(TopicControl, MsgStop{})
+		}
 		m.flushWaiters()
 		return true
 	}
@@ -496,6 +522,9 @@ func (m *Master) inject(s *session, job *Job) {
 		if job.Payload != nil {
 			s.results = append(s.results, job.Payload)
 		}
+		if m.settle != nil {
+			m.settle(rec.Job.ID, s, nil)
+		}
 		return
 	}
 	s.outstanding++
@@ -545,8 +574,15 @@ func (m *Master) onJobDone(msg MsgJobDone) {
 		m.trace(TraceFinished, msg.JobID, msg.Worker)
 	}
 	s.results = append(s.results, msg.Results...)
-	for _, nj := range msg.NewJobs {
-		m.inject(s, nj)
+	if m.settle != nil {
+		// Sharded part: downstream jobs go back to the frontend for
+		// content-hash routing instead of being injected locally — their
+		// data keys may belong to other shards.
+		m.settle(msg.JobID, s, msg.NewJobs)
+	} else {
+		for _, nj := range msg.NewJobs {
+			m.inject(s, nj)
+		}
 	}
 	m.alloc.JobFinished(m, msg.JobID, msg.Worker)
 }
@@ -679,7 +715,9 @@ func (m *Master) maybeFinish() bool {
 		}
 		m.finished = true
 		s.endTime = m.clk.Now()
-		m.ep.Publish(TopicControl, MsgStop{})
+		if !m.muteStop {
+			m.ep.Publish(TopicControl, MsgStop{})
+		}
 		return true
 	}
 	// Cluster mode: the loop never stops by itself, but the session the

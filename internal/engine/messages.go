@@ -275,3 +275,16 @@ type msgContestSized struct {
 	JobID string
 	Count int
 }
+
+// msgShardSettled is a contest shard's notice to the sharded frontend
+// that one of its jobs reached a terminal state, carrying any
+// downstream jobs the task produced so the router can re-partition them
+// by content hash. Only the router consumes it; it travels in-process
+// (broker endpoint or direct inject), never over the wire.
+//
+//xflow:msg master
+type msgShardSettled struct {
+	JobID   string
+	Sess    string
+	NewJobs []*Job
+}

@@ -26,8 +26,16 @@ type Config struct {
 	// Workers is the cluster. WorkerStates persist across runs, so the
 	// harness can execute warm-cache iterations.
 	Workers []*WorkerState
-	// Allocator is the master-side policy.
+	// Allocator is the master-side policy. Ignored when Shards > 1 —
+	// every contest shard then builds its own instance via NewAllocator.
 	Allocator Allocator
+	// Shards > 1 shards the control plane by content hash of job data
+	// keys (see ClusterConfig.Shards). 0 or 1 runs the classic single
+	// master, bit-compatible with historical runs.
+	Shards int
+	// NewAllocator builds one allocator per contest shard; required when
+	// Shards > 1, ignored otherwise.
+	NewAllocator func() Allocator
 	// NewAgent builds the matching worker-side policy per node.
 	NewAgent func(st *WorkerState) Agent
 	// Workflow is the task graph.
@@ -94,7 +102,11 @@ func Run(cfg Config) (*Report, error) {
 	if len(cfg.Workers) == 0 {
 		return nil, errors.New("engine: no workers configured")
 	}
-	if cfg.Allocator == nil {
+	if cfg.Shards > 1 {
+		if cfg.NewAllocator == nil {
+			return nil, errors.New("engine: sharded run needs an allocator factory")
+		}
+	} else if cfg.Allocator == nil {
 		return nil, errors.New("engine: no allocator configured")
 	}
 	if cfg.NewAgent == nil {
@@ -104,23 +116,25 @@ func Run(cfg Config) (*Report, error) {
 		return nil, errors.New("engine: no workflow configured")
 	}
 	c, err := newCluster(ClusterConfig{
-		Clock:      cfg.Clock,
-		Workers:    cfg.Workers,
-		Allocator:  cfg.Allocator,
-		NewAgent:   cfg.NewAgent,
-		Hub:        cfg.Hub,
-		MasterLink: cfg.MasterLink,
-		Seed:       cfg.Seed,
-		Rand:       cfg.Rand,
-		DelayFunc:  cfg.DelayFunc,
-		DropFunc:   cfg.DropFunc,
-		Tracer:     cfg.Tracer,
+		Clock:        cfg.Clock,
+		Workers:      cfg.Workers,
+		Allocator:    cfg.Allocator,
+		Shards:       cfg.Shards,
+		NewAllocator: cfg.NewAllocator,
+		NewAgent:     cfg.NewAgent,
+		Hub:          cfg.Hub,
+		MasterLink:   cfg.MasterLink,
+		Seed:         cfg.Seed,
+		Rand:         cfg.Rand,
+		DelayFunc:    cfg.DelayFunc,
+		DropFunc:     cfg.DropFunc,
+		Tracer:       cfg.Tracer,
 	}, &batchSpec{wf: cfg.Workflow, arrivals: cfg.Arrivals})
 	if err != nil {
 		return nil, err
 	}
-	clk, master := c.clk, c.master
-	master.staleBidBug = cfg.StaleBidBug
+	clk, plane := c.clk, c.plane
+	plane.setStaleBidBug(cfg.StaleBidBug)
 	if cfg.Probe != nil {
 		cfg.Probe(c)
 	}
@@ -148,7 +162,7 @@ func Run(cfg Config) (*Report, error) {
 		k, w := k, w
 		afterFunc(k.At, "kill "+k.Worker, func() {
 			w.kill()
-			master.Inject(MsgWorkerDead{Worker: k.Worker})
+			plane.Inject(MsgWorkerDead{Worker: k.Worker})
 		})
 	}
 	for _, p := range cfg.Partitions {
@@ -218,7 +232,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		d := d
 		afterFunc(d.At, "drain "+d.Worker, func() {
-			master.Inject(msgDrainStart{worker: d.Worker, ack: nil})
+			plane.Inject(msgDrainStart{worker: d.Worker, ack: nil})
 		})
 	}
 
@@ -229,7 +243,7 @@ func Run(cfg Config) (*Report, error) {
 		// exits. Without the force-stop, a worker whose registration or
 		// stop signal was lost would heartbeat forever and the simulation
 		// would never go idle.
-		clk.AfterFunc(cfg.Deadline, func() { master.Inject(msgAbort{}) })
+		clk.AfterFunc(cfg.Deadline, func() { plane.Inject(msgAbort{}) })
 		for _, st := range cfg.Workers {
 			w := c.worker(st.Spec.Name)
 			clk.AfterFunc(cfg.Deadline, w.kill)
@@ -255,11 +269,11 @@ func Run(cfg Config) (*Report, error) {
 	// to a partition) strands that worker's goroutine but the run itself
 	// concluded; only an unfinished master makes the deadlock the run's
 	// outcome.
-	if sim, ok := clk.(*vclock.Sim); ok && sim.Deadlocked() && !master.done() {
+	if sim, ok := clk.(*vclock.Sim); ok && sim.Deadlocked() && !plane.done() {
 		return nil, fmt.Errorf("%w (blocked: %v)", ErrDeadlocked, deadlockWaiting)
 	}
 
-	rep := master.Report()
+	rep := plane.Report()
 	addWorker := func(st *WorkerState, before workerSnapshot, w *Worker) {
 		wr := diffWorker(st, before)
 		if w != nil {
@@ -287,7 +301,7 @@ func Run(cfg Config) (*Report, error) {
 	for _, jr := range joiners {
 		addWorker(jr.st, jr.before, jr.w)
 	}
-	if master.Aborted() {
+	if plane.Aborted() {
 		return rep, fmt.Errorf("%w (%v of simulated time, %d/%d jobs completed)",
 			ErrDeadlineExceeded, cfg.Deadline, rep.JobsCompleted, len(cfg.Arrivals))
 	}
@@ -363,6 +377,11 @@ type Report struct {
 	Bids             int
 	Fallbacks        int
 	MeanAllocLatency time.Duration
+	// allocLatency and allocCount are the raw sums behind
+	// MeanAllocLatency, kept so a sharded plane can merge per-shard
+	// reports into an exact combined mean.
+	allocLatency time.Duration
+	allocCount   int
 	// Workers breaks the counters down per node.
 	Workers []WorkerReport
 	// Records exposes the master's per-job book-keeping.

@@ -51,13 +51,20 @@ type session struct {
 	done vclock.Mailbox
 }
 
+// sessionHost is the control-plane side of a MasterSession: both the
+// single Master and the sharded frontend router accept session traffic
+// through their Inject entry point.
+type sessionHost interface {
+	Inject(payload any)
+}
+
 // MasterSession is one workflow's streaming submission feed on a
-// long-lived master: Submit jobs while the feed is open, Close it, then
-// Wait for the per-session report. Feeds on the same master share the
-// fleet without cross-talk — every job is stamped with its session and
-// routed back to it on completion.
+// long-lived master (single or sharded): Submit jobs while the feed is
+// open, Close it, then Wait for the per-session report. Feeds on the
+// same master share the fleet without cross-talk — every job is stamped
+// with its session and routed back to it on completion.
 type MasterSession struct {
-	m *Master
+	m sessionHost
 	s *session
 }
 

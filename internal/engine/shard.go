@@ -1,0 +1,893 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"crossflow/internal/broker"
+	"crossflow/internal/locindex"
+	"crossflow/internal/vclock"
+)
+
+// ShardName returns the endpoint name of contest shard i of a sharded
+// control plane. Shard endpoints sit next to the frontend router (which
+// keeps the plain MasterName), so workers keep addressing "master" and
+// never need to know the plane is sharded.
+func ShardName(i int) string { return MasterName + "#" + strconv.Itoa(i) }
+
+// controlPlane is the master-side surface Cluster drives: either a
+// single Master (the historical shape, byte-identical behavior) or a
+// ShardedMaster frontend with its N contest shard parts.
+type controlPlane interface {
+	loops() []func()
+	WaitReady()
+	Shutdown()
+	Drain(worker string) vclock.Mailbox
+	Inject(payload any)
+	Report() *Report
+	Aborted() bool
+	done() bool
+	StateDigest() string
+	OpenSession(id string, wf *Workflow) *MasterSession
+	setTracer(t Tracer)
+	setStaleBidBug(on bool)
+}
+
+// loops returns the actor loops Cluster.Start must spawn — for a single
+// master, just its own.
+func (m *Master) loops() []func() { return []func(){m.run} }
+
+func (m *Master) setTracer(t Tracer)     { m.tracer = t }
+func (m *Master) setStaleBidBug(on bool) { m.staleBidBug = on }
+
+// routerSession is the frontend's bookkeeping for one open session: the
+// user-facing session value, the per-shard subsessions, and the
+// routed/settled accounting that decides when the feed close may be
+// propagated to the parts.
+type routerSession struct {
+	id   string
+	user *session
+	subs []*session
+	// routed counts jobs partitioned to a shard; settled counts the
+	// terminal notices that came back. They match exactly when no job is
+	// in flight anywhere on the plane — only then is it safe to close
+	// the per-shard feeds, because an in-flight completion may still fan
+	// downstream work out to any shard.
+	routed  int
+	settled int
+	// userClosed records the user's Close; closed that the close was
+	// forwarded to the parts.
+	userClosed bool
+	closed     bool
+}
+
+// ShardedMaster is the frontend of the sharded contest control plane:
+// a thin router actor on the MasterName endpoint in front of N shard
+// parts, each a full (muted) Master owning the contests, the locindex
+// slice, and the per-worker load accounting of its content-hash
+// partition. Workers are unchanged — they talk to "master" as ever; the
+// router partitions submissions by locindex.ShardOf over the job's
+// DataKey, forwards job-keyed protocol traffic (bids, accepts, rejects,
+// completions) to the owning shard, fans membership events out to every
+// shard, and merges the per-shard Reports back into the single view
+// callers of an unsharded master would have seen.
+//
+// The router forwards by writing straight into a part's inbox — shard
+// parts live in the router's process, so no forwarded message is ever
+// serialized and none ever transits the broker. The one exception in
+// the reverse direction is the settle notice (msgShardSettled), which a
+// simulated part sends through the broker so its delivery shares the
+// deterministic route-skew timing of all protocol traffic.
+type ShardedMaster struct {
+	clk     vclock.Clock
+	ep      Port
+	parts   []*Master
+	labeled *vclock.Sim
+
+	arrivals        []Arrival
+	expectedWorkers int
+	// autoStop distinguishes batch mode (stop when every routed job has
+	// settled) from cluster mode (run until Shutdown).
+	autoStop bool
+
+	jobShard    map[string]int            //xflow:owned router-loop
+	nextID      int                       //xflow:owned router-loop
+	sessions    map[string]*routerSession //xflow:owned router-loop
+	sessionList []*routerSession          //xflow:owned router-loop
+	// def is the batch-mode default session's accounting (and the sink
+	// for traffic about unknown sessions, mirroring Master.def).
+	def      *routerSession //xflow:owned router-loop
+	ready    bool           //xflow:owned router-loop
+	readyAck vclock.Mailbox
+	workers  []string //xflow:owned router-loop
+	// workerSet and dead mirror the unsharded master's membership view:
+	// the router needs its own copy to run quorum formation, drain acks,
+	// and the dead-worker registration tombstone before fan-out.
+	workerSet map[string]bool             //xflow:owned router-loop
+	dead      map[string]bool             //xflow:owned router-loop
+	drains    map[string][]vclock.Mailbox //xflow:owned router-loop
+
+	arrivalsLeft int  //xflow:owned router-loop
+	started      bool //xflow:owned router-loop
+	// defStart and defEnd bound the batch run; like aborted/finished they
+	// are read by Report only after the plane has quiesced, so they stay
+	// outside the router-loop ownership domain.
+	defStart time.Time
+	defEnd   time.Time
+
+	aborted  bool
+	finished bool
+}
+
+// newShardPart builds one contest shard: a long-lived master loop with
+// its fleet-stop publish muted (the frontend owns the single broadcast)
+// and terminal jobs reported back to the frontend instead of re-injected
+// locally. shard is the part's 0-based ordinal, used to stamp trace
+// events with a deterministic tie-break ordinal.
+//
+//xflow:goroutine master-loop
+func newShardPart(clk vclock.Clock, port Port, alloc Allocator, wf *Workflow,
+	expectedWorkers int, ready bool, shard int, rng *rand.Rand) *Master {
+	p := newMaster(clk, port, alloc, wf, nil, expectedWorkers, rng)
+	p.autoStop = false
+	p.muteStop = true
+	p.ready = ready
+	p.traceShard = shard + 1
+	return p
+}
+
+// newShardedPlane wires the frontend router over already-built parts
+// and installs each part's settle hook. On a simulated broker the hook
+// sends the notice through the broker (deterministic route-skew timing,
+// and a partitioned shard's notices are lost exactly like its other
+// sends); on any other port — the TCP transport, whose wire codec does
+// not carry internal messages — it injects straight into the router's
+// inbox, which is correct because parts always share the router's
+// process.
+//
+//xflow:goroutine router-loop
+func newShardedPlane(clk vclock.Clock, ep Port, parts []*Master,
+	arrivals []Arrival, expectedWorkers int, autoStop bool) *ShardedMaster {
+	sm := &ShardedMaster{
+		clk:             clk,
+		ep:              ep,
+		parts:           parts,
+		labeled:         vclock.ActiveLabeled(clk),
+		arrivals:        arrivals,
+		arrivalsLeft:    len(arrivals),
+		expectedWorkers: expectedWorkers,
+		autoStop:        autoStop,
+		jobShard:        make(map[string]int, len(arrivals)),
+		sessions:        make(map[string]*routerSession),
+		def:             &routerSession{},
+		workerSet:       make(map[string]bool),
+		dead:            make(map[string]bool),
+		drains:          make(map[string][]vclock.Mailbox),
+	}
+	routerName := ep.Name()
+	for _, p := range parts {
+		p := p
+		p.settle = func(jobID string, s *session, newJobs []*Job) {
+			msg := msgShardSettled{JobID: jobID, Sess: s.id, NewJobs: newJobs}
+			if _, sim := p.ep.(*broker.Endpoint); sim {
+				p.ep.Send(routerName, msg)
+				return
+			}
+			sm.Inject(msg)
+		}
+	}
+	return sm
+}
+
+// newShardedMaster wires a batch-mode sharded plane: the frontend owns
+// the arrival schedule and termination detection; every part runs the
+// shared workflow on its own allocator and rng stream (drawn from rng
+// in shard order, so the whole plane stays a pure function of the seed).
+//
+//xflow:goroutine router-loop
+func newShardedMaster(clk vclock.Clock, port Port, shardPorts []Port,
+	newAlloc func() Allocator, wf *Workflow, arrivals []Arrival,
+	expectedWorkers int, rng *rand.Rand) *ShardedMaster {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
+	parts := make([]*Master, len(shardPorts))
+	for i, sp := range shardPorts {
+		partRng := rand.New(rand.NewSource(rng.Int63()))
+		parts[i] = newShardPart(clk, sp, newAlloc(), wf, expectedWorkers, false, i, partRng)
+	}
+	return newShardedPlane(clk, port, parts, arrivals, expectedWorkers, true)
+}
+
+// NewShardedClusterMaster wires a long-lived sharded control plane over
+// explicit ports: the frontend router on port (conventionally named
+// MasterName) and one contest shard per element of shardPorts
+// (conventionally ShardName(i)). newAlloc builds each shard's own
+// allocator; rng seeds each shard's independent decision stream.
+// Sessions opened on the returned plane are transparently partitioned
+// and their reports merged. cmd/xflow-master's -shards serve mode uses
+// this over the TCP transport; in-process runs go through Config.Shards.
+//
+//xflow:goroutine router-loop
+func NewShardedClusterMaster(clk vclock.Clock, port Port, shardPorts []Port,
+	newAlloc func() Allocator, expectedWorkers int, rng *rand.Rand) *ShardedMaster {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
+	ready := expectedWorkers == 0
+	parts := make([]*Master, len(shardPorts))
+	for i, sp := range shardPorts {
+		partRng := rand.New(rand.NewSource(rng.Int63()))
+		parts[i] = newShardPart(clk, sp, newAlloc(), nil, expectedWorkers, ready, i, partRng)
+	}
+	sm := newShardedPlane(clk, port, parts, nil, expectedWorkers, false)
+	sm.ready = ready
+	sm.readyAck = clk.NewMailbox(port.Name() + ":ready")
+	if sm.ready {
+		sm.readyAck.Send(struct{}{})
+	}
+	return sm
+}
+
+// Shards returns how many contest shards the plane runs.
+func (sm *ShardedMaster) Shards() int { return len(sm.parts) }
+
+// WaitReady blocks until the initial worker quorum has registered (see
+// Master.WaitReady).
+func (sm *ShardedMaster) WaitReady() {
+	if sm.readyAck != nil {
+		sm.readyAck.Recv()
+	}
+}
+
+// Shutdown stops the plane: the frontend publishes the single MsgStop,
+// quiesces every shard loop, and exits. Safe from any goroutine.
+func (sm *ShardedMaster) Shutdown() { sm.Inject(msgShutdown{}) }
+
+// Drain asks a worker to finish its queued jobs and leave the fleet;
+// the returned mailbox receives one value once its goodbye is processed
+// (see Master.Drain).
+func (sm *ShardedMaster) Drain(worker string) vclock.Mailbox {
+	ack := sm.clk.NewMailbox("drain:" + worker)
+	sm.Inject(msgDrainStart{worker: worker, ack: ack})
+	return ack
+}
+
+// Inject delivers a payload into the frontend's actor loop from outside.
+// Safe to call from any goroutine.
+func (sm *ShardedMaster) Inject(payload any) {
+	sm.ep.Inbox().Send(&broker.Envelope{From: sm.ep.Name(), To: sm.ep.Name(), Payload: payload})
+}
+
+// Run executes the frontend router loop until the plane stops; the
+// shard part loops must be running too (see loops). It must run on a
+// clock-tracked goroutine.
+func (sm *ShardedMaster) Run() { sm.run() }
+
+// Start launches the frontend router loop and every shard part loop on
+// clock-tracked goroutines. It is the sharded counterpart of the
+// clk.Go(master.Run) idiom a single cluster master uses — a sharded
+// plane needs all N+1 loops running before workers register.
+func (sm *ShardedMaster) Start() {
+	for _, fn := range sm.loops() {
+		sm.clk.Go(fn)
+	}
+}
+
+// loops returns the router loop plus one loop per shard part, in shard
+// order.
+func (sm *ShardedMaster) loops() []func() {
+	fns := make([]func(), 0, len(sm.parts)+1)
+	fns = append(fns, sm.run)
+	for _, p := range sm.parts {
+		fns = append(fns, p.run)
+	}
+	return fns
+}
+
+func (sm *ShardedMaster) setTracer(t Tracer) {
+	for _, p := range sm.parts {
+		p.tracer = t
+	}
+}
+
+func (sm *ShardedMaster) setStaleBidBug(on bool) {
+	for _, p := range sm.parts {
+		p.staleBidBug = on
+	}
+}
+
+// OpenSession opens a streaming workflow session on the sharded plane.
+// The session is transparently partitioned: every submitted job routes
+// to its key's shard, and Wait returns the merged per-shard report.
+func (sm *ShardedMaster) OpenSession(id string, wf *Workflow) *MasterSession {
+	s := &session{id: id, wf: wf, feedOpen: true, done: sm.clk.NewMailbox("session:" + id)}
+	sm.Inject(msgOpenSession{s: s})
+	return &MasterSession{m: sm, s: s}
+}
+
+// Aborted reports whether the plane was cut short by a run Deadline.
+func (sm *ShardedMaster) Aborted() bool { return sm.aborted }
+
+// done reports whether the frontend loop has terminated (see
+// Master.done).
+func (sm *ShardedMaster) done() bool { return sm.finished }
+
+// Report merges the per-shard batch reports into the plane-wide view,
+// with the frontend's own start/end times bounding the makespan (parts
+// never settle their default sessions themselves).
+func (sm *ShardedMaster) Report() *Report {
+	reports := make([]*Report, 0, len(sm.parts))
+	for _, p := range sm.parts {
+		reports = append(reports, p.Report())
+	}
+	rep := mergeReports(reports)
+	rep.Start = sm.defStart
+	rep.End = sm.defEnd
+	rep.Makespan = rep.End.Sub(rep.Start)
+	return rep
+}
+
+// mergeReports combines per-shard reports into the single-master shape:
+// counters sum, records union, results concatenate in shard order, and
+// the span runs from the earliest shard start to the latest shard end.
+func mergeReports(reports []*Report) *Report {
+	merged := &Report{Records: make(map[string]*JobRecord)}
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		if merged.Allocator == "" {
+			merged.Allocator = rep.Allocator
+		}
+		if merged.Start.IsZero() || (!rep.Start.IsZero() && rep.Start.Before(merged.Start)) {
+			merged.Start = rep.Start
+		}
+		if rep.End.After(merged.End) {
+			merged.End = rep.End
+		}
+		merged.JobsCompleted += rep.JobsCompleted
+		merged.JobsFailed += rep.JobsFailed
+		merged.Redispatched += rep.Redispatched
+		merged.Results = append(merged.Results, rep.Results...)
+		merged.Offers += rep.Offers
+		merged.Rejections += rep.Rejections
+		merged.Contests += rep.Contests
+		merged.ContestMsgs += rep.ContestMsgs
+		merged.Bids += rep.Bids
+		merged.Fallbacks += rep.Fallbacks
+		merged.allocLatency += rep.allocLatency
+		merged.allocCount += rep.allocCount
+		for id, rec := range rep.Records {
+			merged.Records[id] = rec
+		}
+	}
+	merged.Makespan = merged.End.Sub(merged.Start)
+	if merged.allocCount > 0 {
+		merged.MeanAllocLatency = merged.allocLatency / time.Duration(merged.allocCount)
+	}
+	return merged
+}
+
+// run is the frontend router actor loop.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) run() {
+	for {
+		v, ok := sm.ep.Inbox().Recv()
+		if !ok {
+			return
+		}
+		env, ok := v.(*broker.Envelope)
+		if !ok {
+			continue
+		}
+		if done := sm.handle(env); done {
+			return
+		}
+	}
+}
+
+func (sm *ShardedMaster) handle(env *broker.Envelope) (done bool) {
+	//xflow:dispatch master
+	switch msg := env.Payload.(type) {
+	//xflow:unhandled MsgBidWindowExpired,MsgTick,msgContestSized shard-local self-timers inject straight into the owning part's inbox and never transit the frontend
+	case MsgRegister:
+		sm.onRegister(env, msg)
+	case MsgInject:
+		sm.arrivalsLeft--
+		sm.routeJob(sm.def, msg.Job)
+	case MsgBid:
+		sm.routeByJob(env, msg.JobID)
+	case MsgAccept:
+		sm.routeByJob(env, msg.JobID)
+	case MsgReject:
+		sm.routeByJob(env, msg.JobID)
+	case MsgRequestJob:
+		sm.onRequestJob(env, msg)
+	case MsgEmit:
+		if msg.Job != nil {
+			sm.routeJob(sm.sessionByID(msg.Job.Session), msg.Job)
+		}
+	case MsgJobDone:
+		sm.routeByJob(env, msg.JobID)
+	case MsgCacheEvict:
+		sm.onCacheEvict(env, msg)
+	case MsgWorkerDead:
+		sm.onWorkerDead(env, msg.Worker)
+	case MsgLeave:
+		sm.onLeave(env, msg.Worker)
+	case msgOpenSession:
+		sm.addSession(msg.s)
+	case msgSubmit:
+		rs := sm.addSession(msg.s)
+		if !rs.closed {
+			sm.routeJob(rs, msg.job)
+		}
+	case msgCloseFeed:
+		if rs, ok := sm.sessions[msg.s.id]; ok {
+			rs.userClosed = true
+			sm.maybeCloseParts(rs)
+		}
+	case msgDrainStart:
+		sm.onDrainStart(msg)
+	case msgShutdown:
+		return sm.stop(false)
+	case msgAbort:
+		return sm.stop(true)
+	case msgShardSettled:
+		sm.onSettled(msg)
+	}
+	return sm.maybeFinish()
+}
+
+// forward hands an envelope straight into a part's inbox. Worker-
+// originated traffic respects a partitioned part's link state — the
+// broker would have dropped a direct send to it — while the frontend's
+// own control traffic (routed jobs, session and membership fan-out,
+// shutdown) models the in-process queue a network partition cannot
+// sever.
+func (sm *ShardedMaster) forward(part *Master, env *broker.Envelope) {
+	if env.From != sm.ep.Name() {
+		if d, ok := part.ep.(interface{ Down() bool }); ok && d.Down() {
+			return
+		}
+	}
+	part.ep.Inbox().Send(env)
+}
+
+// fanOut forwards one envelope to every part.
+func (sm *ShardedMaster) fanOut(env *broker.Envelope) {
+	for _, p := range sm.parts {
+		sm.forward(p, env)
+	}
+}
+
+// control wraps a frontend-originated payload for forwarding to part.
+func (sm *ShardedMaster) control(part *Master, payload any) *broker.Envelope {
+	return &broker.Envelope{From: sm.ep.Name(), To: part.ep.Name(), Payload: payload, SentAt: sm.clk.Now()}
+}
+
+// routeJob assigns the job an ID (mirroring Master.inject's numbering),
+// stamps its session, picks the owning shard by content hash of its
+// data key, and hands it to that part as an in-process emit.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) routeJob(rs *routerSession, job *Job) {
+	if job.ID == "" {
+		job.ID = formatJobID(sm.nextID)
+	}
+	sm.nextID++
+	if rs.id != "" {
+		job.Session = rs.id
+	}
+	if _, dup := sm.jobShard[job.ID]; dup {
+		job.ID = fmt.Sprintf("%s#%d", job.ID, sm.nextID)
+	}
+	shard := locindex.ShardOf(job.DataKey, len(sm.parts))
+	sm.jobShard[job.ID] = shard
+	rs.routed++
+	sm.forward(sm.parts[shard], sm.control(sm.parts[shard], MsgEmit{Job: job}))
+}
+
+// routeByJob forwards job-keyed worker traffic (bids, accepts, rejects,
+// completions) to the job's owning shard; traffic about jobs the plane
+// never routed is dropped, like an unsharded master ignoring an unknown
+// job ID.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) routeByJob(env *broker.Envelope, jobID string) {
+	shard, ok := sm.jobShard[jobID]
+	if !ok {
+		return
+	}
+	sm.forward(sm.parts[shard], env)
+}
+
+// onRegister mirrors the unsharded master's membership logic (tombstone
+// refusal, quorum formation) and fans the registration out to every
+// part, which each ack it — the worker's registration loop is
+// idempotent under duplicate acks.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onRegister(env *broker.Envelope, msg MsgRegister) {
+	if sm.dead[msg.Worker] {
+		return // tombstoned: see Master.onRegister
+	}
+	sm.fanOut(env)
+	if sm.workerSet[msg.Worker] {
+		return
+	}
+	late := sm.ready
+	sm.workerSet[msg.Worker] = true
+	sm.workers = append(sm.workers, msg.Worker)
+	if late {
+		return
+	}
+	if len(sm.workers) >= sm.expectedWorkers {
+		sm.becomeReady()
+	}
+}
+
+// shrinkQuorum mirrors Master.shrinkQuorum for the frontend's own
+// fleet-formation bar.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) shrinkQuorum() {
+	if sm.ready {
+		return
+	}
+	sm.expectedWorkers--
+	if len(sm.workers) >= sm.expectedWorkers {
+		sm.becomeReady()
+	}
+}
+
+// becomeReady settles fleet formation on the frontend; in batch mode it
+// also starts the arrival schedule (the parts never see Arrivals — the
+// router owns the stream and partitions each job as it fires).
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) becomeReady() {
+	sm.ready = true
+	if sm.readyAck != nil {
+		sm.readyAck.Send(struct{}{})
+	}
+	if sm.autoStop {
+		sm.started = true
+		sm.defStart = sm.clk.Now()
+		for _, arr := range sm.arrivals {
+			arr := arr
+			sm.afterFunc(arr.At, "arrival "+arr.Job.ID, func() { sm.Inject(MsgInject{Job: arr.Job}) })
+		}
+	}
+}
+
+// onRequestJob fans an idle worker's pull out to every shard. Pulls
+// cannot be routed by content hash — the worker is asking for whatever
+// work exists, and only the shards know their queues — and routing to
+// a single shard deadlocks parking allocators (the baseline parks an
+// unserved pull and never replies, so a pull stranded on an empty
+// shard would idle its worker forever while sibling shards hold
+// unoffered jobs). With fan-out each shard serves or parks the pull
+// independently; shards answering NoWork are deduplicated by the
+// worker's pull-retry coalescing (Worker.RequestWorkAfter).
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onRequestJob(env *broker.Envelope, msg MsgRequestJob) {
+	if !sm.workerSet[msg.Worker] {
+		return
+	}
+	sm.fanOut(env)
+}
+
+// onCacheEvict splits an eviction notice by key ownership and forwards
+// each slice to its shard, so every locindex only ever sees its own
+// partition's keys.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onCacheEvict(env *broker.Envelope, msg MsgCacheEvict) {
+	if !sm.workerSet[msg.Worker] {
+		return
+	}
+	byShard := make([][]string, len(sm.parts))
+	for _, k := range msg.Keys {
+		s := locindex.ShardOf(k, len(sm.parts))
+		byShard[s] = append(byShard[s], k)
+	}
+	for i, keys := range byShard {
+		if len(keys) == 0 {
+			continue
+		}
+		// Keep the worker as the sender so a partitioned shard loses the
+		// notice exactly like a direct send to it.
+		sm.forward(sm.parts[i], &broker.Envelope{
+			From: env.From, To: sm.parts[i].ep.Name(), SentAt: env.SentAt,
+			Payload: MsgCacheEvict{Worker: msg.Worker, Keys: keys},
+		})
+	}
+}
+
+// onWorkerDead fans the death out (unconditionally — rescuing inflight
+// jobs must reach even a partitioned shard, exactly as a single master's
+// self-injected death cannot be lost) and updates the frontend's own
+// membership mirror.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onWorkerDead(env *broker.Envelope, worker string) {
+	sm.fanOut(sm.control(sm.parts[0], MsgWorkerDead{Worker: worker}))
+	first := !sm.dead[worker]
+	sm.dead[worker] = true
+	if !sm.workerSet[worker] {
+		if first {
+			sm.shrinkQuorum()
+		}
+		return
+	}
+	sm.removeWorker(worker)
+	sm.shrinkQuorum()
+}
+
+// onLeave fans a worker's goodbye out to every part (each rescues the
+// records it owns) and settles the frontend's drain acks.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onLeave(env *broker.Envelope, worker string) {
+	sm.fanOut(env)
+	if sm.workerSet[worker] {
+		sm.dead[worker] = true
+		sm.removeWorker(worker)
+		sm.shrinkQuorum()
+	}
+	acks, ok := sm.drains[worker]
+	if !ok {
+		return
+	}
+	delete(sm.drains, worker)
+	for _, ack := range acks {
+		if ack != nil {
+			ack.Send(worker)
+		}
+	}
+}
+
+// removeWorker splices worker out of the frontend's live set.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) removeWorker(worker string) {
+	delete(sm.workerSet, worker)
+	for i, w := range sm.workers {
+		if w == worker {
+			sm.workers = append(sm.workers[:i], sm.workers[i+1:]...)
+			break
+		}
+	}
+}
+
+// onDrainStart mirrors Master.onDrainStart on the frontend — the
+// frontend keeps the caller's ack and forwards an ack-less drain to
+// every part; each part removes the worker from contention and tells it
+// to drain (the worker's drain entry is idempotent).
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onDrainStart(msg msgDrainStart) {
+	if !sm.workerSet[msg.worker] {
+		if msg.ack != nil {
+			if _, pending := sm.drains[msg.worker]; pending {
+				sm.drains[msg.worker] = append(sm.drains[msg.worker], msg.ack)
+			} else {
+				msg.ack.Send(msg.worker)
+			}
+		}
+		return
+	}
+	sm.removeWorker(msg.worker)
+	sm.shrinkQuorum()
+	sm.drains[msg.worker] = append(sm.drains[msg.worker], msg.ack)
+	sm.fanOut(sm.control(sm.parts[0], msgDrainStart{worker: msg.worker, ack: nil}))
+}
+
+// sessionByID resolves a session name to its frontend bookkeeping,
+// falling back to the default session like Master.sessionByID.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) sessionByID(id string) *routerSession {
+	if id != "" {
+		if rs, ok := sm.sessions[id]; ok {
+			return rs
+		}
+	}
+	return sm.def
+}
+
+// addSession registers an explicitly-opened session on the frontend:
+// one subsession per shard is opened on the parts, and a clock-tracked
+// merger is spawned to combine their reports into the user's Wait.
+// Idempotent, so a feed's first Submit can race its Open harmlessly.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) addSession(s *session) *routerSession {
+	if rs, ok := sm.sessions[s.id]; ok {
+		return rs
+	}
+	rs := &routerSession{id: s.id, user: s, subs: make([]*session, len(sm.parts))}
+	for i, p := range sm.parts {
+		sub := &session{
+			id:       s.id,
+			wf:       s.wf,
+			feedOpen: true,
+			done:     sm.clk.NewMailbox("session:" + s.id + "#" + strconv.Itoa(i)),
+		}
+		rs.subs[i] = sub
+		sm.forward(p, sm.control(p, msgOpenSession{s: sub}))
+	}
+	sm.sessions[s.id] = rs
+	sm.sessionList = append(sm.sessionList, rs)
+	sm.startMerger(rs)
+	return rs
+}
+
+// startMerger spawns the clock-tracked goroutine that collects the
+// per-shard session reports in shard order and delivers their merge to
+// the user's Wait. Parts settle their subsessions independently — on
+// quiescence after the feed close, or on shutdown/abort — so the merger
+// only gathers and combines.
+func (sm *ShardedMaster) startMerger(rs *routerSession) {
+	subs := rs.subs
+	user := rs.user
+	sm.clk.Go(func() {
+		reports := make([]*Report, 0, len(subs))
+		for _, sub := range subs {
+			v, ok := sub.done.Recv()
+			if !ok {
+				continue
+			}
+			if rep, ok := v.(*Report); ok {
+				reports = append(reports, rep)
+			}
+		}
+		if user.done != nil {
+			user.done.Send(mergeReports(reports))
+		}
+	})
+}
+
+// onSettled books one terminal job, routes the downstream jobs it
+// produced (each to its own key's shard), and re-checks whether the
+// session's feed close can now propagate.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) onSettled(msg msgShardSettled) {
+	rs := sm.sessionByID(msg.Sess)
+	rs.settled++
+	for _, nj := range msg.NewJobs {
+		sm.routeJob(rs, nj)
+	}
+	sm.maybeCloseParts(rs)
+}
+
+// maybeCloseParts propagates a session's feed close to the shard
+// subsessions once the plane has quiesced for it: the user closed the
+// feed and every routed job has settled, so no in-flight completion can
+// fan more downstream work out. Closing earlier would let a subsession
+// with an empty queue finish while a sibling shard's job was still
+// about to emit work for it.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) maybeCloseParts(rs *routerSession) {
+	if rs == sm.def || !rs.userClosed || rs.closed || rs.routed != rs.settled {
+		return
+	}
+	rs.closed = true
+	for i, p := range sm.parts {
+		sm.forward(p, sm.control(p, msgCloseFeed{s: rs.subs[i]}))
+	}
+}
+
+// maybeFinish implements batch termination on the frontend: the arrival
+// schedule ran dry and every routed job settled, so the plane is done.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) maybeFinish() bool {
+	if !sm.autoStop {
+		return false
+	}
+	if !sm.started || sm.arrivalsLeft > 0 || sm.def.routed != sm.def.settled {
+		return false
+	}
+	return sm.stop(false)
+}
+
+// stop ends the frontend loop: it marks the plane finished, publishes
+// the single fleet-wide MsgStop, quiesces every part loop with a direct
+// shutdown (their own stop publish is muted), and flushes the
+// frontend's pending drain acks. Part shutdown also flushes every
+// subsession, which completes the session mergers.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) stop(abort bool) bool {
+	if sm.finished {
+		return true
+	}
+	if abort {
+		sm.aborted = true
+	}
+	sm.finished = true
+	sm.defEnd = sm.clk.Now()
+	sm.ep.Publish(TopicControl, MsgStop{})
+	var payload any = msgShutdown{}
+	if abort {
+		payload = msgAbort{}
+	}
+	for _, p := range sm.parts {
+		sm.forward(p, sm.control(p, payload))
+	}
+	sm.flushWaiters()
+	return true
+}
+
+// flushWaiters settles the frontend's pending drain acks (sessions are
+// flushed by the parts themselves as their shutdown lands).
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) flushWaiters() {
+	if len(sm.drains) == 0 {
+		return
+	}
+	names := make([]string, 0, len(sm.drains))
+	for w := range sm.drains {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		for _, ack := range sm.drains[w] {
+			if ack != nil {
+				ack.Send(w)
+			}
+		}
+		delete(sm.drains, w)
+	}
+}
+
+// afterFunc schedules f on the frontend's clock, labeled with the
+// master's conflict domain when a model-checking chooser is active —
+// the frontend's self-timers only ever Inject back into its own loop,
+// and the whole control plane (router plus parts, which only ever
+// receive through the router or their own self-timers) forms one
+// conflict domain under MasterName.
+func (sm *ShardedMaster) afterFunc(d time.Duration, detail string, f func()) {
+	if sm.labeled != nil {
+		sm.labeled.AfterFuncLabeled(d, vclock.EventLabel{Node: MasterName, Detail: detail}, f)
+		return
+	}
+	sm.clk.AfterFunc(d, f)
+}
+
+// StateDigest renders the frontend's routing state plus every part's
+// digest in shard order, for the model checker's state fingerprint.
+//
+//xflow:goroutine router-loop
+func (sm *ShardedMaster) StateDigest() string {
+	var b strings.Builder
+	deads := make([]string, 0, len(sm.dead))
+	for w := range sm.dead {
+		deads = append(deads, w)
+	}
+	sort.Strings(deads)
+	fmt.Fprintf(&b, "router ready=%t finished=%t aborted=%t next=%d exp=%d shards=%d workers=%s dead=%s\n",
+		sm.ready, sm.finished, sm.aborted, sm.nextID, sm.expectedWorkers,
+		len(sm.parts), strings.Join(sm.workers, ","), strings.Join(deads, ","))
+	fmt.Fprintf(&b, "rsess def routed=%d settled=%d\n", sm.def.routed, sm.def.settled)
+	for _, rs := range sm.sessionList {
+		fmt.Fprintf(&b, "rsess %q routed=%d settled=%d closed=%t/%t\n",
+			rs.id, rs.routed, rs.settled, rs.userClosed, rs.closed)
+	}
+	for i, p := range sm.parts {
+		fmt.Fprintf(&b, "shard %d {\n%s}\n", i, p.StateDigest())
+	}
+	return b.String()
+}

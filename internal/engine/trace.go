@@ -30,6 +30,13 @@ type TraceEvent struct {
 	JobID string
 	// Node is the worker involved, empty for master-only events.
 	Node string
+	// shard and seq order events emitted by concurrent shard parts of a
+	// sharded control plane: shard is the emitting part's 1-based
+	// ordinal (0 on an unsharded master), seq its per-part emission
+	// counter. Events compares (At, shard, seq) so same-instant events
+	// from different parts have one deterministic global order.
+	shard int
+	seq   int
 }
 
 // Tracer receives allocation events as they happen on the master.
@@ -56,12 +63,35 @@ func (l *TraceLog) Trace(ev TraceEvent) {
 	l.events = append(l.events, ev)
 }
 
-// Events returns a copy of the accumulated events.
+// Events returns a copy of the accumulated events. Traces from a
+// sharded control plane (any event stamped with a shard ordinal) are
+// sorted into their deterministic (At, shard, seq) order: concurrent
+// parts append under the log's mutex in OS-scheduling order, which
+// same-seed re-runs may resolve differently. Unsharded traces are
+// returned in plain append order, exactly as before.
 func (l *TraceLog) Events() []TraceEvent {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]TraceEvent, len(l.events))
 	copy(out, l.events)
+	sharded := false
+	for i := range out {
+		if out[i].shard > 0 {
+			sharded = true
+			break
+		}
+	}
+	if sharded {
+		sort.SliceStable(out, func(i, j int) bool {
+			if !out[i].At.Equal(out[j].At) {
+				return out[i].At.Before(out[j].At)
+			}
+			if out[i].shard != out[j].shard {
+				return out[i].shard < out[j].shard
+			}
+			return out[i].seq < out[j].seq
+		})
+	}
 	return out
 }
 
@@ -106,5 +136,9 @@ func (m *Master) trace(kind TraceEventKind, jobID, node string) {
 	if m.tracer == nil {
 		return
 	}
-	m.tracer.Trace(TraceEvent{At: m.clk.Now(), Kind: kind, JobID: jobID, Node: node})
+	m.traceSeq++
+	m.tracer.Trace(TraceEvent{
+		At: m.clk.Now(), Kind: kind, JobID: jobID, Node: node,
+		shard: m.traceShard, seq: m.traceSeq,
+	})
 }

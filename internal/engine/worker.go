@@ -74,6 +74,20 @@ type Worker struct {
 	draining     bool                     //xflow:owned mu=mu
 	registered   bool                     //xflow:owned mu=mu
 	evictNotify  bool                     //xflow:owned mu=mu
+	// pullArmed coalesces scheduled pull retries: on a sharded control
+	// plane one pull fans out to every shard, and each shard with
+	// nothing to offer replies NoWork — without coalescing, every reply
+	// would re-arm its own retry timer and the pull rate would multiply
+	// by the shard count each round. On a single master at most one
+	// retry is ever in flight, so coalescing changes nothing there.
+	pullArmed bool //xflow:owned mu=mu
+	// jobOrigin remembers, per job, which control-plane endpoint opened
+	// the exchange (the From of its bid request, offer, or assignment).
+	// Replies about that job go back to the same endpoint: on a sharded
+	// plane that is the owning contest shard directly — skipping a
+	// frontend hop on the hottest protocol path — while on a single
+	// master the origin is always MasterName and nothing changes.
+	jobOrigin map[string]string //xflow:owned mu=mu
 }
 
 // WorkerSpec configures one worker node.
@@ -170,6 +184,7 @@ func newWorker(clk vclock.Clock, ep Port, wf *Workflow, st *WorkerState,
 		execQ:       clk.NewMailbox("exec:" + st.Spec.Name),
 		queuedCosts: make(map[string]time.Duration),
 		pendingData: make(map[string]int),
+		jobOrigin:   make(map[string]string),
 	}
 }
 
@@ -260,14 +275,17 @@ func (w *Worker) commsLoop() {
 				w.agent.Start(w)
 			}
 		case MsgAssign:
+			w.recordOrigin(msg.Job.ID, env.From)
 			est := msg.EstimatedCost
 			if est <= 0 {
 				est = w.EstimateJob(msg.Job)
 			}
 			w.enqueue(msg.Job, est)
 		case MsgOffer:
+			w.recordOrigin(msg.Job.ID, env.From)
 			w.agent.OnOffer(w, msg.Job)
 		case MsgBidRequest:
+			w.recordOrigin(msg.Job.ID, env.From)
 			w.agent.OnBidRequest(w, msg.Job)
 		case MsgNoWork:
 			w.agent.OnNoWork(w, msg.Backoff)
@@ -396,7 +414,7 @@ func (w *Worker) execute(job *Job) {
 	}
 	w.mu.Unlock()
 
-	w.ep.Send(MasterName, done)
+	w.ep.Send(w.originOf(job.ID, true), done)
 	w.agent.OnJobFinished(w, job)
 }
 
@@ -515,6 +533,35 @@ func (w *Worker) notifyEvictions(keys []string) {
 	}
 }
 
+// recordOrigin notes which control-plane endpoint opened an exchange
+// about a job (see the jobOrigin field). An empty from (a locally
+// injected payload) is ignored so a stale real origin survives.
+func (w *Worker) recordOrigin(jobID, from string) {
+	if from == "" {
+		return
+	}
+	w.mu.Lock()
+	w.jobOrigin[jobID] = from
+	w.mu.Unlock()
+}
+
+// originOf returns the endpoint replies about a job go to — the
+// recorded origin, or MasterName when the job has none (e.g. a pull
+// assignment raced the worker's death notice). forget drops the entry:
+// pass true on the exchange's final message.
+func (w *Worker) originOf(jobID string, forget bool) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	to, ok := w.jobOrigin[jobID]
+	if forget {
+		delete(w.jobOrigin, jobID)
+	}
+	if !ok {
+		return MasterName
+	}
+	return to
+}
+
 // JobDataLocal reports whether the job's data is local to this worker —
 // cached already, or committed to be fetched by a queued job.
 func (w *Worker) JobDataLocal(job *Job) bool {
@@ -527,7 +574,10 @@ func (w *Worker) JobDataLocal(job *Job) bool {
 // data-local bid (see MsgBid.Local).
 func (w *Worker) SubmitBid(jobID string, estimate, jobCost time.Duration, local bool) {
 	send := func() {
-		w.ep.Send(MasterName, MsgBid{
+		// Forget the origin with the bid: a losing worker hears nothing
+		// more about the job, and a winning one gets an MsgAssign that
+		// re-records it.
+		w.ep.Send(w.originOf(jobID, true), MsgBid{
 			JobID: jobID, Worker: w.name, Estimate: estimate, JobCost: jobCost, Local: local,
 		})
 	}
@@ -542,12 +592,14 @@ func (w *Worker) SubmitBid(jobID string, estimate, jobCost time.Duration, local 
 // master.
 func (w *Worker) AcceptOffer(job *Job) {
 	w.enqueue(job, w.EstimateJob(job))
-	w.ep.Send(MasterName, MsgAccept{JobID: job.ID, Worker: w.name})
+	// Keep the origin: the job is queued here now, and its MsgJobDone
+	// must reach the same contest shard.
+	w.ep.Send(w.originOf(job.ID, false), MsgAccept{JobID: job.ID, Worker: w.name})
 }
 
 // RejectOffer returns an offered job to the master.
 func (w *Worker) RejectOffer(job *Job) {
-	w.ep.Send(MasterName, MsgReject{JobID: job.ID, Worker: w.name})
+	w.ep.Send(w.originOf(job.ID, true), MsgReject{JobID: job.ID, Worker: w.name})
 }
 
 // RequestWork pulls for a job, reporting the worker's cached keys and
@@ -570,8 +622,16 @@ func (w *Worker) RequestWorkAfter(d time.Duration, strikes int) {
 	if d <= 0 {
 		return
 	}
+	w.mu.Lock()
+	armed := w.pullArmed
+	w.pullArmed = true
+	w.mu.Unlock()
+	if armed {
+		return // a retry is already scheduled; don't multiply the pull rate
+	}
 	w.afterFunc(d, w.name+" pull", func() {
 		w.mu.Lock()
+		w.pullArmed = false
 		dead := w.killed
 		w.mu.Unlock()
 		if !dead {

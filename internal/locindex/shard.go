@@ -1,0 +1,18 @@
+package locindex
+
+// ShardOf maps a data key to one of shards partitions by FNV-1a content
+// hash. The sharded control plane uses it everywhere a job, an index
+// entry, or a cache notice must agree on an owner: the same key always
+// lands on the same shard, in every process, on every run. shards <= 1
+// always returns 0, so an unsharded plane never pays the hash.
+func ShardOf(key string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037) // FNV-1a 64-bit offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(shards))
+}

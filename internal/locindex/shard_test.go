@@ -1,0 +1,63 @@
+package locindex
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestShardOfDeterministicAndInRange pins the property everything in the
+// sharded control plane leans on: ShardOf is a pure function of
+// (key, shards) with results in [0, shards). The reference value comes
+// from the standard library's FNV-1a, so the hand-inlined loop cannot
+// silently drift from the advertised hash.
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	keys := []string{"", "a", "repo-001", "wire/k07", "hotJ", "r0", "r1",
+		"some/long/path/to/a/data/partition.parquet"}
+	for _, shards := range []int{2, 3, 4, 7, 16} {
+		for _, key := range keys {
+			got := ShardOf(key, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d, out of range", key, shards, got)
+			}
+			if again := ShardOf(key, shards); again != got {
+				t.Fatalf("ShardOf(%q, %d) flapped: %d then %d", key, shards, got, again)
+			}
+			h := fnv.New64a()
+			h.Write([]byte(key))
+			if want := int(h.Sum64() % uint64(shards)); got != want {
+				t.Errorf("ShardOf(%q, %d) = %d, want %d (stdlib FNV-1a)", key, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestShardOfUnshardedIsZero pins the fast path: shards <= 1 is always
+// shard 0, including degenerate shard counts.
+func TestShardOfUnshardedIsZero(t *testing.T) {
+	for _, shards := range []int{1, 0, -3} {
+		if got := ShardOf("any-key", shards); got != 0 {
+			t.Errorf("ShardOf(any-key, %d) = %d, want 0", shards, got)
+		}
+	}
+}
+
+// TestShardOfSpreadsKeys guards against a hash regression that would
+// funnel everything onto one shard: over a synthetic key population
+// shaped like the benchmarks' (rN / repo-NNN), every shard of a
+// 4-shard plane must own a reasonable fraction.
+func TestShardOfSpreadsKeys(t *testing.T) {
+	const shards = 4
+	counts := make([]int, shards)
+	n := 0
+	for i := 0; i < 200; i++ {
+		counts[ShardOf(fmt.Sprintf("r%d", i), shards)]++
+		counts[ShardOf(fmt.Sprintf("repo-%03d", i), shards)]++
+		n += 2
+	}
+	for s, c := range counts {
+		if c < n/shards/2 {
+			t.Errorf("shard %d owns %d of %d keys — hash is badly skewed", s, c, n)
+		}
+	}
+}

@@ -25,6 +25,13 @@ type Bounds struct {
 	Drain string
 	// Join adds one fresh worker ("j0") joining at time zero.
 	Join bool
+	// Shards > 1 runs the bounded configuration on the sharded control
+	// plane: that many contest shards behind the frontend router, with
+	// jobs partitioned by content hash of their data key. 0 or 1 keeps
+	// the classic single master. Sharding multiplies the interleaving
+	// space (router→shard forwards and shard→worker sends are separate
+	// schedulable deliveries), so keep the bounds small.
+	Shards int
 }
 
 // BoundedScenario builds the canonical small configuration the checker
@@ -52,6 +59,9 @@ func BoundedScenario(b Bounds, pol core.Policy) *simtest.Scenario {
 		heartbeat = 50 * time.Millisecond
 	}
 	sc := &simtest.Scenario{Seed: int64(b.Workers*100 + b.Jobs)}
+	if b.Shards > 1 {
+		sc.Shards = b.Shards
+	}
 	worker := func(name string, i int) simtest.WorkerCfg {
 		return simtest.WorkerCfg{
 			Name:      name,

@@ -3,9 +3,12 @@ package simtest
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"crossflow/internal/engine"
+	"crossflow/internal/locindex"
 	"crossflow/internal/vclock"
 )
 
@@ -37,6 +40,9 @@ func CheckTrace(sc *Scenario, r *RunResult) *Violation {
 		return v
 	}
 	if v := checkCacheAccounting(sc, r, fail); v != nil {
+		return v
+	}
+	if v := checkShardProgress(sc, r, fail); v != nil {
 		return v
 	}
 	if r.Err == nil {
@@ -273,6 +279,58 @@ func checkCacheAccounting(sc *Scenario, r *RunResult, fail func(string, string, 
 	if rep.CacheHits+rep.CacheMisses != executions {
 		return fail("cache-accounting", "hits %d + misses %d != %d data-bound executions",
 			rep.CacheHits, rep.CacheMisses, executions)
+	}
+	return nil
+}
+
+// checkShardProgress is the sharded plane's liveness guarantee under
+// shard faults: when the only lossy faults are partitions of shard
+// endpoints, every job owned by a never-partitioned shard must still
+// reach a terminal state — one shard dropping off the plane cannot
+// stall its siblings' partitions. It runs even on deadline-stalled
+// runs (that stall is exactly the partitioned shard's lost jobs).
+//
+// Pull policies are exempt: a worker whose pull request was forwarded
+// into a partitioned shard gets no reply and, by design, never re-arms
+// its pull timer — the same accepted stall a lossy unsharded plan
+// shows — so healthy-shard jobs can starve without any shard being at
+// fault.
+func checkShardProgress(sc *Scenario, r *RunResult, fail func(string, string, ...any) *Violation) *Violation {
+	if sc.Shards <= 1 || sc.Faults.DropProb > 0 {
+		return nil
+	}
+	switch r.Policy {
+	case "matchmaking", "delay":
+		return nil
+	}
+	shardPrefix := engine.MasterName + "#"
+	partitioned := make(map[int]bool)
+	for _, pt := range sc.Faults.Partitions {
+		if !strings.HasPrefix(pt.Node, shardPrefix) {
+			return nil // worker/frontend partitions can stall anything
+		}
+		idx, err := strconv.Atoi(strings.TrimPrefix(pt.Node, shardPrefix))
+		if err != nil {
+			return nil
+		}
+		partitioned[idx] = true
+	}
+	terminal := make(map[string]bool)
+	for _, ev := range r.Events {
+		if ev.Kind == engine.TraceFinished || ev.Kind == engine.TraceFailed {
+			terminal[ev.JobID] = true
+		}
+	}
+	for _, j := range sc.Jobs {
+		shard := locindex.ShardOf(j.Key, sc.Shards)
+		if partitioned[shard] {
+			continue
+		}
+		if !terminal[j.ID] {
+			return fail("shard-progress",
+				"job %s (key %s) is owned by healthy shard %d/%d but never reached a terminal state (partitioned shards: %v)",
+				j.ID, j.Key, shard, sc.Shards, partitioned)
+		}
 	}
 	return nil
 }

@@ -141,6 +141,8 @@ func ExecuteOpts(sc *Scenario, pol core.Policy, opts ExecOptions) *RunResult {
 		Clock:        clk,
 		Workers:      sc.BuildWorkers(),
 		Allocator:    pol.NewAllocator(),
+		Shards:       sc.Shards,
+		NewAllocator: pol.NewAllocator,
 		NewAgent:     pol.NewAgent,
 		Workflow:     scenarioWorkflow(),
 		Arrivals:     sc.Arrivals(),

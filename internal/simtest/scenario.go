@@ -129,10 +129,14 @@ func (p FaultPlan) Lossy() bool {
 // Scenario is one complete simulation-test case. It is fully determined
 // by (seed, limits); see Generate.
 type Scenario struct {
-	Seed     int64
-	Workers  []WorkerCfg
-	Jobs     []JobCfg
-	Faults   FaultPlan
+	Seed    int64
+	Workers []WorkerCfg
+	Jobs    []JobCfg
+	Faults  FaultPlan
+	// Shards > 1 runs the scenario over a sharded control plane with
+	// that many content-hash-partitioned contest masters; 0 runs the
+	// classic single master.
+	Shards   int
 	Deadline time.Duration
 }
 
@@ -250,6 +254,31 @@ func Generate(seed int64, lim Limits) *Scenario {
 	// conservation/determinism cases); the rest draw from the menu.
 	if rng.Intn(2) == 1 {
 		sc.Faults = genFaults(rng, sc, lim)
+	}
+
+	// Sharded control plane: one scenario in four runs over 2–4 contest
+	// shards, and half of those also partition one or two shard
+	// endpoints (shard kill ≈ a never-healing shard partition: the rest
+	// of the plane must keep making progress on its own partitions).
+	// These draws come after the whole fault plan so every historical
+	// seed still generates its exact pre-shard scenario.
+	if rng.Intn(4) == 0 {
+		sc.Shards = 2 + rng.Intn(3)
+		if rng.Intn(2) == 0 {
+			span := sc.Jobs[len(sc.Jobs)-1].At
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				pt := PartitionFault{
+					Node:     engine.ShardName(rng.Intn(sc.Shards)),
+					At:       minKillAt + time.Duration(rng.Int63n(int64(span+10*time.Second))),
+					Duration: time.Duration(1+rng.Intn(30)) * time.Second,
+				}
+				if rng.Intn(8) == 0 {
+					pt.Duration = 0 // the shard never comes back
+				}
+				sc.Faults.Partitions = append(sc.Faults.Partitions, pt)
+			}
+		}
 	}
 
 	sc.Deadline = deadlineFor(sc)
@@ -494,6 +523,9 @@ func (sc *Scenario) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario seed=%d: %d workers, %d jobs, deadline %v\n",
 		sc.Seed, len(sc.Workers), len(sc.Jobs), sc.Deadline)
+	if sc.Shards > 1 {
+		fmt.Fprintf(&b, "  control plane: %d contest shards\n", sc.Shards)
+	}
 	for _, w := range sc.Workers {
 		fmt.Fprintf(&b, "  worker %-4s net=%.1fMB/s rw=%.1fMB/s noise=%.2f cache=%.0fMB link=%v bid=%v hb=%v\n",
 			w.Name, w.NetMBps, w.RWMBps, w.NoiseAmp, w.CacheMB, w.Link, w.BidDelay, w.Heartbeat)

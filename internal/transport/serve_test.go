@@ -124,6 +124,112 @@ func TestServeLifecycleTCP(t *testing.T) {
 	}
 }
 
+// TestServeShardedTCP drives the sharded control plane over real
+// loopback TCP: the frontend router on the master name plus two contest
+// shards on their own broker endpoints, a streamed session whose keys
+// split across both shards, then a drain and shutdown. Workers address
+// only the master name; the routing is invisible to them. This is the
+// CI race-detector smoke test for the sharded serve path.
+func TestServeShardedTCP(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	clk := vclock.NewScaledReal(1000)
+
+	wf := engine.NewWorkflow("serve")
+	wf.MustAddTask(engine.TaskSpec{Name: "analyze", Input: "work"})
+
+	masterPort, err := Dial(srv.Addr(), engine.MasterName, 0, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer masterPort.Close()
+	const shards = 2
+	var shardPorts []engine.Port
+	for i := 0; i < shards; i++ {
+		sp, err := Dial(srv.Addr(), engine.ShardName(i), 0, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sp.Close()
+		shardPorts = append(shardPorts, sp)
+	}
+	master := engine.NewShardedClusterMaster(clk, masterPort, shardPorts,
+		func() engine.Allocator { return core.NewBidding() }, 2, rand.New(rand.NewSource(1)))
+	master.Start()
+	waitRegistered(t, srv, engine.MasterName)
+
+	newNode := func(name string, seed int64) *engine.Worker {
+		st := engine.NewWorkerState(engine.WorkerSpec{
+			Name: name,
+			Net:  netsim.Speed{BaseMBps: 100},
+			RW:   netsim.Speed{BaseMBps: 400},
+			Seed: seed,
+		}, nil)
+		port, err := Dial(srv.Addr(), name, 0, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { port.Close() })
+		return engine.NewWorker(clk, port, wf, st, nil, core.NewBiddingAgent())
+	}
+	w0 := newNode("w0", 1)
+	w1 := newNode("w1", 2)
+	w0.Start()
+	w1.Start()
+
+	var rep *engine.Report
+	clk.Go(func() {
+		master.WaitReady()
+		sess := master.OpenSession("s1", wf)
+		// Keys r0..r7 hash to alternating shards, so both contest shards
+		// run contests within the one session.
+		for i := 0; i < 8; i++ {
+			sess.Submit(&engine.Job{ID: fmt.Sprintf("j%d", i), Stream: "work",
+				DataKey: fmt.Sprintf("r%d", i), DataSizeMB: 100})
+			clk.Sleep(300 * time.Millisecond)
+		}
+		sess.Close()
+		rep = sess.Wait()
+		// Drain passes through the router to every shard; the ack fires
+		// only after each shard has processed the goodbye.
+		master.Drain("w0").Recv()
+		master.Shutdown()
+	})
+
+	done := make(chan struct{})
+	go func() {
+		clk.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sharded serve lifecycle never completed")
+	}
+
+	if rep == nil {
+		t.Fatal("session report missing")
+	}
+	if rep.JobsCompleted != 8 {
+		t.Fatalf("JobsCompleted = %d, want 8", rep.JobsCompleted)
+	}
+	if len(rep.Records) != 8 {
+		t.Fatalf("merged report has %d records, want 8", len(rep.Records))
+	}
+	for id, rec := range rep.Records {
+		if rec.Status != engine.StatusFinished {
+			t.Errorf("job %s ended in status %v", id, rec.Status)
+		}
+	}
+	if w0.JobsDone()+w1.JobsDone() != 8 {
+		t.Errorf("per-worker completions sum to %d, want 8 (no lost or duplicated work)",
+			w0.JobsDone()+w1.JobsDone())
+	}
+}
+
 // TestAutoClientReconnects drops the broker out from under an
 // AutoClient and verifies it redials with backoff, replays its
 // subscriptions, runs the reconnect hook, and resumes delivery.
